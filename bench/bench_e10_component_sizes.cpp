@@ -1,0 +1,48 @@
+// E10 — Lemma 24 (P2): the components left after shattering have size
+// O(poly(Delta) log n).
+//
+// Series: max and count of leftover components vs n under fixed marking
+// parameters. Reproduction claim: max component size grows like log n (flat
+// max_comp_per_log), not like n (decaying max_comp_per_n).
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void E10_Components(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_regular(n, 4, 101);
+  DeltaColoringOptions opt;
+  opt.dcc_radius = 2;
+  opt.selection_prob = 1.0 / 64.0;
+  opt.backoff = 3;
+  opt.seed = 13;
+  DeltaColoringResult res;
+  double max_comp = 0, comps = 0, leftover = 0;
+  const int reps = 3;
+  for (auto _ : state) {
+    for (int rep = 0; rep < reps; ++rep) {
+      res = delta_color(g, Algorithm::kRandomizedLarge, opt);
+      ++opt.seed;
+      max_comp += static_cast<double>(res.stats.max_leftover_component) / reps;
+      comps += static_cast<double>(res.stats.leftover_components) / reps;
+      leftover += static_cast<double>(res.stats.leftover_vertices) / reps;
+    }
+  }
+  report(state, res);
+  state.counters["max_component"] = max_comp;
+  state.counters["num_components"] = comps;
+  state.counters["leftover"] = leftover;
+  state.counters["max_comp_per_log"] =
+      max_comp / std::log2(static_cast<double>(n));
+  state.counters["max_comp_per_n"] = max_comp / n;
+  csv_row(state, "e10_component_sizes");
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E10_Components)
+    ->Arg(2048)->Arg(8192)->Arg(32768)->Arg(131072)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,80 @@
+// E11 — ablations over the design choices DESIGN.md calls out:
+//   (a) list-coloring engine: deterministic class sweep vs randomized trial
+//       coloring (the Theorem 18 vs Theorem 19 choice);
+//   (b) marking constants: practical defaults vs the paper's asymptotic
+//       constants (b = 6, p = Delta^-6);
+//   (c) DCC-detection radius r: how much of the graph the B-layers absorb
+//       vs how much the shattering machinery must handle.
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void E11_ListEngine(benchmark::State& state) {
+  const bool randomized = state.range(0) != 0;
+  const int d = static_cast<int>(state.range(1));
+  const int n = 8192;
+  const Graph g = make_regular(n, d, 111);
+  DeltaColoringOptions opt;
+  opt.seed = 21;
+  opt.list_engine =
+      randomized ? ListEngine::kRandomized : ListEngine::kDeterministic;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kRandomizedLarge, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+  state.counters["randomized_engine"] = randomized ? 1 : 0;
+  state.counters["delta"] = d;
+}
+
+void E11_PaperConstants(benchmark::State& state) {
+  const bool paper = state.range(0) != 0;
+  const int n = 8192;
+  const Graph g = make_regular(n, 4, 112);
+  DeltaColoringOptions opt;
+  opt.seed = 22;
+  opt.use_paper_constants = paper;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kRandomizedLarge, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+  state.counters["paper_constants"] = paper ? 1 : 0;
+  state.counters["tnodes"] = res.stats.num_tnodes;
+  state.counters["leftover"] = res.stats.leftover_vertices;
+}
+
+void E11_DccRadius(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const int n = 8192;
+  const Graph g = make_regular(n, 4, 113);
+  DeltaColoringOptions opt;
+  opt.seed = 23;
+  opt.dcc_radius = r;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kRandomizedLarge, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+  state.counters["r"] = r;
+  state.counters["dccs"] = res.stats.num_dccs_selected;
+  state.counters["b0"] = res.stats.base_layer_size;
+  state.counters["h_size"] = res.stats.h_vertices;
+  state.counters["leftover"] = res.stats.leftover_vertices;
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E11_ListEngine)
+    ->ArgsProduct({{0, 1}, {4, 8, 16}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(deltacol::bench::E11_PaperConstants)
+    ->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(deltacol::bench::E11_DccRadius)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,40 @@
+// E1 — Corollary 2: for constant Delta, the randomized small-Delta
+// algorithm runs in O((log log n)^2) rounds.
+//
+// Series: rounds vs n for Delta in {4, 5}, compared against the
+// (log log n)^2 and log^2 n reference curves (counters rounds,
+// loglog2_sq, log2_sq). The reproduction claim is the SHAPE: rounds per
+// (log log n)^2 stays near-flat while rounds per log^2 n decays.
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void E1_RandSmall(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const Graph g = make_regular(n, d, 11);
+  DeltaColoringOptions opt;
+  opt.seed = 1234;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kRandomizedSmall, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+  const double ll = log2log2(n);
+  const double l2 = std::log2(static_cast<double>(n));
+  state.counters["rounds_per_loglog_sq"] =
+      static_cast<double>(res.ledger.total()) / (ll * ll);
+  state.counters["rounds_per_log_sq"] =
+      static_cast<double>(res.ledger.total()) / (l2 * l2);
+  csv_row(state, "e1_rounds_vs_n");
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E1_RandSmall)
+    ->ArgsProduct({{256, 1024, 4096, 16384, 65536}, {4, 5}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

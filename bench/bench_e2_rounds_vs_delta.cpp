@@ -1,0 +1,48 @@
+// E2 — Theorem 3: for Delta >= 4 the randomized algorithm runs in
+// O(log Delta) + 2^O(sqrt(log log n)) rounds.
+//
+// Series: rounds vs Delta at fixed n. With the deterministic list-coloring
+// substitution (DESIGN.md) the per-layer cost is O(Delta^2) instead of
+// O~(sqrt(Delta)); the counter rounds_per_delta_sq normalizes that away so
+// the residual growth in Delta can be compared against the theorem's
+// O(log Delta).
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void E2_RandLarge(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool randomized_lists = state.range(1) != 0;
+  const int n = 4096;
+  const Graph g = make_regular(n, d, 22);
+  DeltaColoringOptions opt;
+  opt.seed = 99;
+  opt.list_engine = randomized_lists ? ListEngine::kRandomized
+                                     : ListEngine::kDeterministic;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kRandomizedLarge, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+  state.counters["delta"] = d;
+  state.counters["randomized_lists"] = randomized_lists ? 1 : 0;
+  state.counters["rounds_per_delta_sq"] =
+      static_cast<double>(res.ledger.total()) / (d * d);
+  state.counters["layer_rounds"] = static_cast<double>(
+      res.ledger.phase_total("rand/7-c-coloring") +
+      res.ledger.phase_total("rand/8-b-coloring"));
+  csv_row(state, "e2_rounds_vs_delta");
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+// Second axis: 0 = deterministic list engine (Delta^2 schedule reduction
+// dominates), 1 = randomized list engine (the Theorem 19 substrate — rounds
+// nearly flat in Delta, the theorem's regime).
+BENCHMARK(deltacol::bench::E2_RandLarge)
+    ->ArgsProduct({{4, 6, 8, 12, 16, 24}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

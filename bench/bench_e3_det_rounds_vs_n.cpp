@@ -1,0 +1,40 @@
+// E3 — Theorem 4: deterministic Delta-coloring in
+// O(sqrt(Delta) log^{-3/2}(Delta) log^2 n) rounds.
+//
+// Series: rounds vs n at Delta = 4. With our ruling-set substitution the
+// dominant log^2 n term comes from the distance-R ruling set (charged at the
+// AGLP price: log n levels x R); rounds_per_log_sq should stay near-flat.
+// The base-layer and layer-coloring phases are reported separately.
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void E3_Deterministic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const Graph g = make_regular(n, d, 33);
+  DeltaColoringOptions opt;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, Algorithm::kDeterministic, opt);
+  }
+  report(state, res);
+  const double l2 = std::log2(static_cast<double>(n));
+  state.counters["rounds_per_log_sq"] =
+      static_cast<double>(res.ledger.total()) / (l2 * l2);
+  state.counters["ruling_rounds"] =
+      static_cast<double>(res.ledger.phase_total("det/ruling-set"));
+  state.counters["layercoloring_rounds"] =
+      static_cast<double>(res.ledger.phase_total("det/layer-coloring"));
+  state.counters["num_layers"] = res.stats.num_b_layers;
+  csv_row(state, "e3_det_rounds_vs_n");
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E3_Deterministic)
+    ->ArgsProduct({{256, 1024, 4096, 16384, 65536}, {4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,43 @@
+// E4 — the paper's headline: both new algorithms improve on the 25-year-old
+// [PS92/PS95] bound (our ND baseline realizes its O(log^3 n / log Delta)
+// structure; see DESIGN.md "Substitutions").
+//
+// Series: rounds for all five algorithms on the same graphs, n sweep.
+// Expected shape: rand-small < rand-large ~ det < ND baseline, with the gap
+// to the baseline widening in n. The greedy+Brooks baseline is round-cheap
+// at small scale but its repair stage scales with the overflow class.
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+void run_alg(benchmark::State& state, Algorithm alg) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_regular(n, 4, 44);
+  DeltaColoringOptions opt;
+  opt.seed = 5;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, alg, opt);
+    ++opt.seed;
+  }
+  report(state, res);
+}
+
+void E4_RandSmall(benchmark::State& s) { run_alg(s, Algorithm::kRandomizedSmall); }
+void E4_RandLarge(benchmark::State& s) { run_alg(s, Algorithm::kRandomizedLarge); }
+void E4_Deterministic(benchmark::State& s) { run_alg(s, Algorithm::kDeterministic); }
+void E4_BaselineND(benchmark::State& s) { run_alg(s, Algorithm::kBaselineND); }
+void E4_BaselineGreedyBrooks(benchmark::State& s) {
+  run_alg(s, Algorithm::kBaselineGreedyBrooks);
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+#define E4_ARGS ->Arg(1024)->Arg(4096)->Arg(16384)->Iterations(1)->Unit(benchmark::kMillisecond)
+BENCHMARK(deltacol::bench::E4_RandSmall) E4_ARGS;
+BENCHMARK(deltacol::bench::E4_RandLarge) E4_ARGS;
+BENCHMARK(deltacol::bench::E4_Deterministic) E4_ARGS;
+BENCHMARK(deltacol::bench::E4_BaselineND) E4_ARGS;
+BENCHMARK(deltacol::bench::E4_BaselineGreedyBrooks) E4_ARGS;

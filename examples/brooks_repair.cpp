@@ -1,0 +1,63 @@
+// Online repair with the distributed Brooks' theorem (Theorem 5).
+//
+// A running network holds a valid Delta-coloring; nodes occasionally reset
+// (reboot, lease expiry) and lose their color. Instead of recoloring the
+// world, each reset is repaired locally: the token-walk procedure recolors
+// only an O(log n)-radius patch. This demo runs a stream of resets and
+// reports the repair radius distribution against the paper's
+// 2 log_{Delta-1} n bound.
+//
+//   ./brooks_repair [n] [delta] [resets] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "brooks/distributed_brooks.h"
+#include "core/api.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+
+using namespace deltacol;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const int delta = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int resets = argc > 3 ? std::atoi(argv[3]) : 500;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 5;
+
+  Rng rng(seed);
+  const Graph g = random_regular(n, delta, rng);
+
+  DeltaColoringOptions opt;
+  opt.seed = seed;
+  auto res = delta_color(g, Algorithm::kRandomizedSmall, opt);
+  std::cout << "initial Delta-coloring: " << res.ledger.total()
+            << " rounds, Delta = " << res.delta << "\n";
+
+  Coloring& c = res.coloring;
+  const int rho = brooks_search_radius(n, delta);
+  Summary radius;
+  Summary tight_radius;
+  int dcc_repairs = 0;
+  for (int i = 0; i < resets; ++i) {
+    const int v = rng.next_int(0, n - 1);
+    c[static_cast<std::size_t>(v)] = kUncolored;  // node reset
+    const bool tight = !first_free_color(g, c, v, delta).has_value();
+    const auto fix = brooks_fix(g, c, v, delta, rho);
+    radius.add(fix.radius_used);
+    if (tight) tight_radius.add(fix.radius_used);
+    dcc_repairs += fix.used_dcc ? 1 : 0;
+    validate_delta_coloring(g, c, delta);
+  }
+  std::cout << resets << " resets repaired locally\n"
+            << "  repair radius (all resets): " << radius.str() << "\n";
+  if (tight_radius.count() > 0) {
+    std::cout << "  repair radius (tight resets, no free color): "
+              << tight_radius.str() << "\n";
+  } else {
+    std::cout << "  (no reset vertex was tight: every repair was in place)\n";
+  }
+  std::cout << "  theorem bound (2 log_{Delta-1} n): " << rho << "\n"
+            << "  repairs through a degree-choosable component: "
+            << dcc_repairs << "\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "brooks/distributed_brooks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/brooks_seq.h"
+#include "coloring/degree_choosable.h"
+#include "dcc/dcc.h"
+#include "graph/components.h"
+#include "graph/ops.h"
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace deltacol {
+
+int brooks_search_radius(int n, int delta) {
+  DC_REQUIRE(delta >= 3, "Brooks machinery needs delta >= 3");
+  const double r = 2.0 * log_base(static_cast<double>(delta - 1),
+                                  static_cast<double>(std::max(2, n)));
+  return static_cast<int>(std::ceil(r)) + 2;
+}
+
+namespace {
+
+// Walk the token from `path[0]` along the path; stops early if a free color
+// appears. Returns the final token position.
+int walk_token(const Graph& g, Coloring& c, const std::vector<int>& path,
+               int delta) {
+  int token = path.front();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (first_free_color(g, c, token, delta).has_value()) break;
+    const int next = path[i];
+    // No free color => all delta neighbor colors distinct; stealing next's
+    // color keeps the coloring proper once next is uncolored.
+    c[static_cast<std::size_t>(token)] = c[static_cast<std::size_t>(next)];
+    c[static_cast<std::size_t>(next)] = kUncolored;
+    token = next;
+  }
+  return token;
+}
+
+// Shortest path from src to the nearest vertex satisfying `good`, within
+// radius max_r; empty if none.
+std::vector<int> path_to_nearest(const Graph& g, int src, int max_r,
+                                 const std::vector<char>& good) {
+  const int n = g.num_vertices();
+  std::vector<int> parent(static_cast<std::size_t>(n), -2);
+  std::vector<int> dist(static_cast<std::size_t>(n), kUnreachable);
+  std::vector<int> queue;
+  queue.push_back(src);
+  dist[static_cast<std::size_t>(src)] = 0;
+  parent[static_cast<std::size_t>(src)] = -1;
+  int found = good[static_cast<std::size_t>(src)] ? src : -1;
+  for (std::size_t head = 0; head < queue.size() && found == -1; ++head) {
+    const int u = queue[head];
+    if (dist[static_cast<std::size_t>(u)] >= max_r) break;
+    for (int w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] != kUnreachable) continue;
+      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+      parent[static_cast<std::size_t>(w)] = u;
+      if (good[static_cast<std::size_t>(w)]) {
+        found = w;
+        break;
+      }
+      queue.push_back(w);
+    }
+  }
+  if (found == -1) return {};
+  std::vector<int> path;
+  for (int x = found; x != -1; x = parent[static_cast<std::size_t>(x)]) {
+    path.push_back(x);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
+                           int max_radius) {
+  DC_REQUIRE(delta >= 3, "brooks_fix requires delta >= 3");
+  DC_REQUIRE(c[static_cast<std::size_t>(v0)] == kUncolored,
+             "v0 must be the uncolored node");
+  BrooksFixResult res;
+  const Coloring before = c;
+
+  auto measure_radius = [&]() {
+    const auto dist = bfs_distances(g, v0);
+    int radius = 0;
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      if (c[static_cast<std::size_t>(u)] != before[static_cast<std::size_t>(u)] &&
+          dist[static_cast<std::size_t>(u)] != kUnreachable) {
+        radius = std::max(radius, dist[static_cast<std::size_t>(u)]);
+      }
+    }
+    return radius;
+  };
+
+  // Fast path: free color at v0 itself.
+  if (const auto x = first_free_color(g, c, v0, delta)) {
+    c[static_cast<std::size_t>(v0)] = *x;
+    return res;
+  }
+
+  // Gather the search ball once; all structure decisions are local to it.
+  const auto ball_sub = induced_subgraph(g, ball(g, v0, max_radius));
+  const Graph& B = ball_sub.graph;
+  const int v0_local = ball_sub.from_parent[static_cast<std::size_t>(v0)];
+
+  // Candidate targets inside the ball: vertices of global degree < delta, or
+  // vertices lying in a DCC block of the ball.
+  const int bn = B.num_vertices();
+  std::vector<char> deficient(static_cast<std::size_t>(bn), 0);
+  for (int i = 0; i < bn; ++i) {
+    const int p = ball_sub.to_parent[static_cast<std::size_t>(i)];
+    if (g.degree(p) < delta) deficient[static_cast<std::size_t>(i)] = 1;
+  }
+  const auto blocks = dcc_blocks(B);
+  std::vector<char> in_dcc(static_cast<std::size_t>(bn), 0);
+  std::vector<int> dcc_of(static_cast<std::size_t>(bn), -1);
+  for (int bi = 0; bi < static_cast<int>(blocks.size()); ++bi) {
+    for (int x : blocks[static_cast<std::size_t>(bi)]) {
+      in_dcc[static_cast<std::size_t>(x)] = 1;
+      dcc_of[static_cast<std::size_t>(x)] = bi;
+    }
+  }
+
+  std::vector<char> good(static_cast<std::size_t>(bn), 0);
+  for (int i = 0; i < bn; ++i) {
+    good[static_cast<std::size_t>(i)] =
+        (deficient[static_cast<std::size_t>(i)] ||
+         in_dcc[static_cast<std::size_t>(i)])
+            ? 1
+            : 0;
+  }
+
+  const auto local_path = path_to_nearest(B, v0_local, max_radius, good);
+  if (local_path.empty()) {
+    // Lemma 16 says this is unreachable once max_radius >= 2 log_{D-1} n on
+    // nice graphs; emergency fallback for callers with a too-small radius:
+    // recolor v0's whole connected component from scratch.
+    const auto cc = connected_components(g);
+    std::vector<int> comp_vertices;
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      if (cc.component[static_cast<std::size_t>(u)] ==
+          cc.component[static_cast<std::size_t>(v0)]) {
+        comp_vertices.push_back(u);
+      }
+    }
+    const auto comp = induced_subgraph(g, comp_vertices);
+    const Coloring fresh = brooks_coloring_components(comp.graph, delta);
+    for (int i = 0; i < comp.graph.num_vertices(); ++i) {
+      c[comp.to_parent[static_cast<std::size_t>(i)]] = fresh[i];
+    }
+    res.used_component_recolor = true;
+    res.radius_used = measure_radius();
+    return res;
+  }
+
+  // Map the path to parent ids and walk the token along it.
+  std::vector<int> path;
+  path.reserve(local_path.size());
+  for (int x : local_path) {
+    path.push_back(ball_sub.to_parent[static_cast<std::size_t>(x)]);
+  }
+  const int token = walk_token(g, c, path, delta);
+  if (const auto x = first_free_color(g, c, token, delta)) {
+    // Early free color, or the deficient-node case.
+    c[static_cast<std::size_t>(token)] = *x;
+    res.used_deficient_node =
+        deficient[static_cast<std::size_t>(
+            ball_sub.from_parent[static_cast<std::size_t>(token)])] != 0;
+  } else {
+    // DCC case: the token reached the component's nearest vertex without
+    // finding slack. Uncolor the block and recolor it from lists.
+    const int token_local =
+        ball_sub.from_parent[static_cast<std::size_t>(token)];
+    DC_ENSURE(in_dcc[static_cast<std::size_t>(token_local)] != 0,
+              "token ended neither at slack nor at a DCC");
+    const auto& block = blocks[static_cast<std::size_t>(
+        dcc_of[static_cast<std::size_t>(token_local)])];
+    std::vector<int> block_parent;
+    block_parent.reserve(block.size());
+    for (int x : block) {
+      block_parent.push_back(ball_sub.to_parent[static_cast<std::size_t>(x)]);
+    }
+    for (int p : block_parent) c[static_cast<std::size_t>(p)] = kUncolored;
+    const auto comp = induced_subgraph(g, block_parent);
+    ListAssignment lists(static_cast<std::size_t>(comp.graph.num_vertices()));
+    for (int i = 0; i < comp.graph.num_vertices(); ++i) {
+      const int p = comp.to_parent[static_cast<std::size_t>(i)];
+      for (Color x : free_colors(g, c, p, delta)) {
+        lists[static_cast<std::size_t>(i)].push_back(x);
+      }
+    }
+    const auto colored = degree_choosable_coloring(comp.graph, lists);
+    DC_ENSURE(colored.has_value(),
+              "DCC recoloring failed: block was not degree-choosable?");
+    for (int i = 0; i < comp.graph.num_vertices(); ++i) {
+      c[comp.to_parent[static_cast<std::size_t>(i)]] = (*colored)[i];
+    }
+    res.used_dcc = true;
+  }
+
+  res.radius_used = measure_radius();
+  return res;
+}
+
+}  // namespace deltacol

@@ -1,0 +1,48 @@
+// The distributed Brooks' theorem (Theorem 5, [PS95], reproved in the paper's
+// Section 2.3).
+//
+// Given a Delta-coloring that is complete except for one node v, the coloring
+// can be completed by recoloring only inside the (2 log_{Delta-1} n)-
+// neighborhood of v. The constructive procedure (proof of Theorem 5):
+//
+//   * keep a token at the uncolored node; while the token node has no free
+//     color, color it with a chosen neighbor's color and move the token
+//     there (the coloring stays proper because a node with no free color
+//     sees all Delta colors exactly once);
+//   * walk the token toward either a node of degree < Delta (which always
+//     has a free color) or a degree-choosable component (Lemma 16 guarantees
+//     one of the two exists within radius 2 log_{Delta-1} n);
+//   * in the DCC case, uncolor the whole component and recolor it from its
+//     lists (possible by Theorem 8).
+#pragma once
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace deltacol {
+
+struct BrooksFixResult {
+  // Max distance from the initially uncolored node of any vertex whose color
+  // was changed (the "recoloring radius" measured in experiment E7).
+  int radius_used = 0;
+  // Which terminal case fired.
+  bool used_dcc = false;
+  bool used_deficient_node = false;
+  // Emergency path: the search radius did not suffice (should not happen
+  // when max_radius >= 2 log_{Delta-1} n + 1 on nice graphs) and the whole
+  // component was recolored from scratch.
+  bool used_component_recolor = false;
+};
+
+// Completes the coloring at v0. Preconditions: c proper, complete except
+// exactly at v0; delta >= max degree; delta >= 3; v0's component is not a
+// clique on delta+1 vertices. Post: c proper and complete, only vertices
+// within radius_used of v0 changed.
+BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
+                           int max_radius);
+
+// The paper's bound 2 log_{Delta-1} n, rounded up, plus slack for the DCC
+// diameter; a safe default max_radius for brooks_fix.
+int brooks_search_radius(int n, int delta);
+
+}  // namespace deltacol

@@ -1,0 +1,26 @@
+// Sequential constructive Brooks' theorem.
+//
+// Lovász-style proof turned into an algorithm: any connected graph that is
+// neither a clique nor an odd cycle has a Delta-coloring, found in polynomial
+// time. Used as (a) the ground-truth oracle in tests, and (b) the terminal
+// repair step when a distributed phase is asked to finish a component
+// sequentially (charged honestly via the ledger by callers).
+#pragma once
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace deltacol {
+
+// Delta-colors a connected nice graph (max degree >= 3, not a clique;
+// cycles/paths are rejected — 2-colorable graphs are outside Brooks scope
+// here). Colors used: {0..Delta-1} where Delta = g.max_degree().
+Coloring brooks_coloring(const Graph& g);
+
+// As above but for any graph whose every connected component is Delta-
+// colorable with the *global* Delta (components that are cliques of size
+// <= Delta or cycles with Delta >= 3 are fine; a Delta+1 clique or an odd
+// cycle when Delta = 2 throws).
+Coloring brooks_coloring_components(const Graph& g, int delta);
+
+}  // namespace deltacol

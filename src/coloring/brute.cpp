@@ -1,0 +1,91 @@
+#include "coloring/brute.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+namespace {
+
+struct Searcher {
+  const Graph& g;
+  const ListAssignment& lists;
+  Coloring colors;
+  std::int64_t budget;
+
+  bool feasible(int v, Color x) const {
+    for (int u : g.neighbors(v)) {
+      if (colors[u] == x) return false;
+    }
+    return true;
+  }
+
+  int remaining_values(int v) const {
+    int k = 0;
+    for (Color x : lists[static_cast<std::size_t>(v)]) {
+      if (feasible(v, x)) ++k;
+    }
+    return k;
+  }
+
+  // MRV: the uncolored vertex with fewest feasible colors.
+  int pick_vertex() const {
+    int best = -1;
+    int best_rv = -1;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (colors[v] != kUncolored) continue;
+      const int rv = remaining_values(v);
+      if (best == -1 || rv < best_rv) {
+        best = v;
+        best_rv = rv;
+        if (rv == 0) break;  // dead end; fail fast
+      }
+    }
+    return best;
+  }
+
+  bool solve() {
+    DC_ENSURE(budget-- > 0, "brute force node budget exhausted");
+    const int v = pick_vertex();
+    if (v == -1) return true;  // everything colored
+    for (Color x : lists[static_cast<std::size_t>(v)]) {
+      if (!feasible(v, x)) continue;
+      colors[v] = x;
+      if (solve()) return true;
+      colors[v] = kUncolored;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<Coloring> brute_force_list_coloring(const Graph& g,
+                                                  const ListAssignment& lists,
+                                                  const Coloring& partial,
+                                                  std::int64_t max_nodes) {
+  DC_REQUIRE(static_cast<int>(lists.size()) == g.num_vertices(),
+             "list assignment size mismatch");
+  DC_REQUIRE(static_cast<int>(partial.size()) == g.num_vertices(),
+             "partial coloring size mismatch");
+  Searcher s{g, lists, partial, max_nodes};
+  if (s.solve()) return s.colors;
+  return std::nullopt;
+}
+
+std::optional<Coloring> brute_force_list_coloring(const Graph& g,
+                                                  const ListAssignment& lists,
+                                                  std::int64_t max_nodes) {
+  const Coloring empty(static_cast<std::size_t>(g.num_vertices()), kUncolored);
+  return brute_force_list_coloring(g, lists, empty, max_nodes);
+}
+
+bool is_k_colorable(const Graph& g, int k) {
+  std::vector<Color> palette;
+  for (Color x = 0; x < k; ++x) palette.push_back(x);
+  const ListAssignment lists(static_cast<std::size_t>(g.num_vertices()), palette);
+  return brute_force_list_coloring(g, lists).has_value();
+}
+
+}  // namespace deltacol

@@ -1,0 +1,33 @@
+// Exact backtracking list coloring.
+//
+// The paper brute-forces small components (Phase (9) and Section 4.3 step
+// (5)); this is that brute force, with MRV (minimum remaining values)
+// ordering and forward checking so that blocks of a few dozen vertices are
+// instantaneous. Guarded by a node budget so a misuse on a large instance
+// fails loudly instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace deltacol {
+
+// Finds a proper coloring where every vertex gets a color from its list, or
+// nullopt if none exists. Pre-colored vertices in `partial` are fixed (their
+// color need not be in their list). `max_nodes` bounds backtracking search
+// nodes; exceeding it is a contract violation (raise it for bigger brutes).
+std::optional<Coloring> brute_force_list_coloring(
+    const Graph& g, const ListAssignment& lists,
+    const Coloring& partial, std::int64_t max_nodes = 20'000'000);
+
+std::optional<Coloring> brute_force_list_coloring(
+    const Graph& g, const ListAssignment& lists,
+    std::int64_t max_nodes = 20'000'000);
+
+// Is the graph colorable from {0..k-1}? (Exact; for test oracles.)
+bool is_k_colorable(const Graph& g, int k);
+
+}  // namespace deltacol

@@ -1,0 +1,71 @@
+#include "coloring/defective.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+int coloring_defect(const Graph& g, const Coloring& c) {
+  DC_REQUIRE(static_cast<int>(c.size()) == g.num_vertices(),
+             "coloring size mismatch");
+  int defect = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (c[static_cast<std::size_t>(v)] == kUncolored) continue;
+    int same = 0;
+    for (int u : g.neighbors(v)) {
+      if (c[static_cast<std::size_t>(u)] == c[static_cast<std::size_t>(v)]) ++same;
+    }
+    defect = std::max(defect, same);
+  }
+  return defect;
+}
+
+Coloring defective_coloring(const Graph& g, int k, const Coloring& schedule,
+                            int schedule_colors, RoundLedger& ledger,
+                            std::string_view phase) {
+  DC_REQUIRE(k >= 1, "need at least one class");
+  DC_REQUIRE(is_proper_with_palette(g, schedule, schedule_colors),
+             "schedule must be a proper coloring");
+  const int n = g.num_vertices();
+  const int target_defect = g.max_degree() / k;
+  Coloring c(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    c[static_cast<std::size_t>(v)] = v % k;
+  }
+  // Best-response sweeps. Each move strictly decreases the count of
+  // monochromatic edges, which is at most m, so the process terminates; in
+  // practice a handful of sweeps suffice.
+  for (;;) {
+    bool any_bad = false;
+    for (int s = 0; s < schedule_colors; ++s) {
+      for (int v = 0; v < n; ++v) {
+        if (schedule[static_cast<std::size_t>(v)] != s) continue;
+        std::vector<int> load(static_cast<std::size_t>(k), 0);
+        for (int u : g.neighbors(v)) {
+          ++load[static_cast<std::size_t>(c[static_cast<std::size_t>(u)])];
+        }
+        const int mine = c[static_cast<std::size_t>(v)];
+        if (load[static_cast<std::size_t>(mine)] <= target_defect) continue;
+        int best = mine;
+        for (int x = 0; x < k; ++x) {
+          if (load[static_cast<std::size_t>(x)] <
+              load[static_cast<std::size_t>(best)]) {
+            best = x;
+          }
+        }
+        if (best != mine) {
+          c[static_cast<std::size_t>(v)] = best;
+          any_bad = true;
+        }
+      }
+      ledger.charge(1, phase);
+    }
+    if (!any_bad) break;
+  }
+  DC_ENSURE(coloring_defect(g, c) <= target_defect,
+            "defective coloring did not reach floor(Delta/k)");
+  return c;
+}
+
+}  // namespace deltacol

@@ -1,0 +1,35 @@
+// Defective coloring: a d-defective k-coloring allows each vertex up to d
+// same-colored neighbors. Defective colorings are the inner engine of the
+// fast deterministic (deg+1)-list coloring algorithms the paper invokes
+// ([FHK16], [BEG17]): color classes with small defect induce low-degree
+// subgraphs that can be finished cheaply in parallel.
+//
+// We provide the classic Lovász-style local refinement: starting from any
+// proper coloring with m colors, vertices repeatedly move to the class
+// where they have the fewest neighbors; with k classes the stable defect is
+// at most floor(Delta / k). Exposed both as a substrate in its own right
+// (with tests) and as an alternative engine for deg+1-list instances via
+// defect-then-finish.
+#pragma once
+
+#include <string_view>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+
+namespace deltacol {
+
+// Maximum number of same-colored neighbors over all vertices.
+int coloring_defect(const Graph& g, const Coloring& c);
+
+// Computes a floor(Delta/k)-defective k-coloring by parallel best-response
+// moves scheduled by a proper `schedule` coloring (vertices of one schedule
+// class move simultaneously; they are non-adjacent, so each move strictly
+// decreases the global number of monochromatic edges and the process
+// stabilizes). Rounds charged: one per schedule class per sweep.
+Coloring defective_coloring(const Graph& g, int k, const Coloring& schedule,
+                            int schedule_colors, RoundLedger& ledger,
+                            std::string_view phase);
+
+}  // namespace deltacol

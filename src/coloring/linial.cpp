@@ -1,0 +1,144 @@
+#include "coloring/linial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace deltacol {
+
+namespace {
+
+// Evaluate the base-q digit polynomial of `color` at point x, over GF(q).
+// p(x) = sum_i digit_i * x^i mod q.
+int eval_poly(std::uint64_t color, std::uint64_t q, int degree_bound,
+              std::uint64_t x) {
+  // Horner from the highest digit.
+  std::uint64_t digits[64];
+  for (int i = 0; i < degree_bound; ++i) {
+    digits[i] = color % q;
+    color /= q;
+  }
+  std::uint64_t acc = 0;
+  for (int i = degree_bound - 1; i >= 0; --i) {
+    acc = (acc * x + digits[i]) % q;
+  }
+  return static_cast<int>(acc);
+}
+
+// Choose (q, d) for reducing m colors: d digits over GF(q) must encode m
+// colors (q^d >= m) and q > Delta*(d-1) must leave a free evaluation point.
+// Returns the pair minimizing the new palette q^2.
+struct Params {
+  std::uint64_t q;
+  int d;
+};
+Params choose_params(std::uint64_t m, int delta) {
+  Params best{0, 0};
+  std::uint64_t best_new_m = ~0ULL;
+  for (int d = 2; d <= 40; ++d) {
+    // Smallest q satisfying both constraints.
+    const auto root = static_cast<std::uint64_t>(
+        std::ceil(std::pow(static_cast<double>(m), 1.0 / d)));
+    std::uint64_t q = next_prime(std::max<std::uint64_t>(
+        root, static_cast<std::uint64_t>(delta) * (d - 1) + 1));
+    while (ipow(q, static_cast<unsigned>(d)) < m) q = next_prime(q + 1);
+    const std::uint64_t new_m = q * q;
+    if (new_m < best_new_m) {
+      best_new_m = new_m;
+      best = {q, d};
+    }
+  }
+  DC_ENSURE(best.q > 0, "no Linial parameters found");
+  return best;
+}
+
+}  // namespace
+
+LinialResult linial_coloring(const Graph& g, RoundLedger& ledger) {
+  const int n = g.num_vertices();
+  const int delta = std::max(1, g.max_degree());
+  LinialResult res;
+  res.coloring.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) res.coloring[static_cast<std::size_t>(v)] = v;
+  std::uint64_t m = std::max<std::uint64_t>(2, static_cast<std::uint64_t>(n));
+
+  for (;;) {
+    const Params p = choose_params(m, delta);
+    const std::uint64_t new_m = p.q * p.q;
+    if (new_m >= m) break;  // reached the O(Delta^2) fixpoint
+    // One synchronous round: nodes exchange current colors, then each picks
+    // an evaluation point avoiding all neighbors' polynomials.
+    Coloring next(static_cast<std::size_t>(n), kUncolored);
+    for (int v = 0; v < n; ++v) {
+      const std::uint64_t cv =
+          static_cast<std::uint64_t>(res.coloring[static_cast<std::size_t>(v)]);
+      int chosen_x = -1;
+      for (std::uint64_t x = 0; x < p.q && chosen_x < 0; ++x) {
+        bool ok = true;
+        const int pv = eval_poly(cv, p.q, p.d, x);
+        for (int u : g.neighbors(v)) {
+          const std::uint64_t cu = static_cast<std::uint64_t>(
+              res.coloring[static_cast<std::size_t>(u)]);
+          if (cu == cv) continue;  // cannot happen in a proper coloring
+          if (eval_poly(cu, p.q, p.d, x) == pv) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) chosen_x = static_cast<int>(x);
+      }
+      DC_ENSURE(chosen_x >= 0,
+                "Linial step found no valid evaluation point (q too small?)");
+      next[static_cast<std::size_t>(v)] = static_cast<int>(
+          static_cast<std::uint64_t>(chosen_x) * p.q +
+          static_cast<std::uint64_t>(
+              eval_poly(cv, p.q, p.d, static_cast<std::uint64_t>(chosen_x))));
+    }
+    res.coloring = std::move(next);
+    m = new_m;
+    ++res.rounds;
+    ledger.charge(1, "linial");
+  }
+  res.num_colors = static_cast<int>(m);
+  DC_ENSURE(is_proper_with_palette(g, res.coloring, res.num_colors),
+            "Linial produced an improper coloring");
+  return res;
+}
+
+LinialResult reduce_to_delta_plus_one(const Graph& g, const Coloring& start,
+                                      int start_colors, RoundLedger& ledger) {
+  DC_REQUIRE(is_proper_with_palette(g, start, start_colors),
+             "reduction input must be a proper coloring");
+  const int target = g.max_degree() + 1;
+  LinialResult res;
+  res.coloring = start;
+  res.num_colors = std::max(target, start_colors);
+  for (int c = start_colors - 1; c >= target; --c) {
+    // Color class c is an independent set: all its members recolor
+    // simultaneously to their smallest free color below c.
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (res.coloring[static_cast<std::size_t>(v)] != c) continue;
+      const auto x = first_free_color(g, res.coloring, v, target);
+      DC_ENSURE(x.has_value(), "no free color among Delta+1");
+      res.coloring[static_cast<std::size_t>(v)] = *x;
+    }
+    ++res.rounds;
+    ledger.charge(1, "color-reduction");
+  }
+  res.num_colors = target;
+  DC_ENSURE(is_proper_with_palette(g, res.coloring, res.num_colors),
+            "color reduction broke the coloring");
+  return res;
+}
+
+LinialResult delta_plus_one_schedule(const Graph& g, RoundLedger& ledger) {
+  const LinialResult lin = linial_coloring(g, ledger);
+  LinialResult red =
+      reduce_to_delta_plus_one(g, lin.coloring, lin.num_colors, ledger);
+  red.rounds += lin.rounds;
+  return red;
+}
+
+}  // namespace deltacol

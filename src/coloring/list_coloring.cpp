@@ -1,0 +1,141 @@
+#include "coloring/list_coloring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace deltacol {
+
+bool lists_have_deg_plus_one(const Graph& g, const ListAssignment& lists) {
+  if (static_cast<int>(lists.size()) != g.num_vertices()) return false;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (static_cast<int>(lists[static_cast<std::size_t>(v)].size()) <
+        g.degree(v) + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// First color in v's list not used by a colored neighbor; kUncolored if none.
+Color first_feasible(const Graph& g, const ListAssignment& lists,
+                     const Coloring& c, int v) {
+  for (Color x : lists[static_cast<std::size_t>(v)]) {
+    bool ok = true;
+    for (int u : g.neighbors(v)) {
+      if (c[u] == x) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return x;
+  }
+  return kUncolored;
+}
+
+}  // namespace
+
+void det_list_coloring(const Graph& g, const ListAssignment& lists,
+                       const Coloring& schedule, int num_schedule_colors,
+                       Coloring& out, RoundLedger& ledger,
+                       std::string_view phase) {
+  DC_REQUIRE(static_cast<int>(out.size()) == g.num_vertices(),
+             "output coloring size mismatch");
+  DC_REQUIRE(is_proper_with_palette(g, schedule, num_schedule_colors),
+             "schedule must be a proper coloring");
+  // Bucket the vertices by schedule class once; the round loop then touches
+  // each vertex exactly once (still charging one round per class — empty
+  // classes cost a round on a real network too, since nobody knows they are
+  // empty).
+  std::vector<std::vector<int>> buckets(
+      static_cast<std::size_t>(num_schedule_colors));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (out[static_cast<std::size_t>(v)] == kUncolored) {
+      buckets[static_cast<std::size_t>(schedule[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+  for (int s = 0; s < num_schedule_colors; ++s) {
+    // All vertices of schedule class s choose simultaneously; the class is
+    // an independent set, so their choices cannot conflict.
+    for (int v : buckets[static_cast<std::size_t>(s)]) {
+      const Color x = first_feasible(g, lists, out, v);
+      DC_ENSURE(x != kUncolored,
+                "det_list_coloring: vertex ran out of list colors (instance "
+                "violated the deg+1 precondition)");
+      out[static_cast<std::size_t>(v)] = x;
+    }
+    ledger.charge(1, phase);
+  }
+}
+
+void rand_list_coloring(const Graph& g, const ListAssignment& lists,
+                        const Coloring& schedule, int num_schedule_colors,
+                        Rng& rng, Coloring& out, RoundLedger& ledger,
+                        std::string_view phase) {
+  DC_REQUIRE(static_cast<int>(out.size()) == g.num_vertices(),
+             "output coloring size mismatch");
+  const int n = g.num_vertices();
+  std::vector<int> active;
+  for (int v = 0; v < n; ++v) {
+    if (out[static_cast<std::size_t>(v)] == kUncolored) active.push_back(v);
+  }
+  const int max_rounds =
+      4 * ceil_log2(static_cast<std::uint64_t>(std::max(2, n))) + 16;
+  std::vector<Color> proposal(static_cast<std::size_t>(n), kUncolored);
+  for (int round = 0; round < max_rounds && !active.empty(); ++round) {
+    // Propose.
+    for (int v : active) {
+      std::vector<Color> feasible;
+      for (Color x : lists[static_cast<std::size_t>(v)]) {
+        bool ok = true;
+        for (int u : g.neighbors(v)) {
+          if (out[static_cast<std::size_t>(u)] == x) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) feasible.push_back(x);
+      }
+      DC_ENSURE(!feasible.empty(),
+                "rand_list_coloring: empty feasible set (instance violated "
+                "the deg+1 precondition)");
+      proposal[static_cast<std::size_t>(v)] =
+          feasible[static_cast<std::size_t>(rng.next_below(feasible.size()))];
+    }
+    // Resolve: keep the proposal iff no competing neighbor chose it too.
+    std::vector<int> still_active;
+    for (int v : active) {
+      const Color mine = proposal[static_cast<std::size_t>(v)];
+      bool clash = false;
+      for (int u : g.neighbors(v)) {
+        if (out[static_cast<std::size_t>(u)] == kUncolored &&
+            proposal[static_cast<std::size_t>(u)] == mine) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) still_active.push_back(v);
+    }
+    for (int v : active) {
+      const bool kept =
+          std::find(still_active.begin(), still_active.end(), v) ==
+          still_active.end();
+      if (kept) out[static_cast<std::size_t>(v)] = proposal[static_cast<std::size_t>(v)];
+      proposal[static_cast<std::size_t>(v)] = kUncolored;
+    }
+    active = std::move(still_active);
+    ledger.charge(1, phase);
+  }
+  if (!active.empty()) {
+    // The w.h.p. bound did not materialize at this size/seed; finish
+    // deterministically so the caller always gets a complete coloring.
+    det_list_coloring(g, lists, schedule, num_schedule_colors, out, ledger,
+                      phase);
+  }
+}
+
+}  // namespace deltacol

@@ -1,0 +1,167 @@
+#include "core/api.h"
+
+#include <algorithm>
+
+#include "coloring/linial.h"
+#include "coloring/list_coloring.h"
+#include "core/internal.h"
+#include "graph/components.h"
+#include "graph/ops.h"
+#include "graph/structure.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDeterministic: return "deterministic (Thm 4)";
+    case Algorithm::kRandomizedLarge: return "randomized large-Delta (Thm 3)";
+    case Algorithm::kRandomizedSmall: return "randomized small-Delta (Thm 1)";
+    case Algorithm::kBaselineND: return "ND baseline (Thm 21 / PS95)";
+    case Algorithm::kBaselineGreedyBrooks: return "greedy+Brooks baseline";
+  }
+  return "?";
+}
+
+namespace {
+
+using internal::ComponentContext;
+
+// Runs one attempt end to end; throws ContractViolation on failure (the
+// caller retries randomized algorithms with fresh seeds).
+DeltaColoringResult attempt(const Graph& g, Algorithm alg,
+                            const DeltaColoringOptions& opt,
+                            std::uint64_t seed) {
+  const int n = g.num_vertices();
+  const int delta = g.max_degree();
+  DC_REQUIRE(n > 0, "empty graph");
+  DC_REQUIRE(delta >= 3, "Delta-coloring here requires max degree >= 3 "
+                         "(Delta = 2 needs Omega(n) rounds, see paper)");
+  if (alg == Algorithm::kRandomizedLarge) {
+    DC_REQUIRE(delta >= 4, "Theorem 3 requires Delta >= 4; use "
+                           "kRandomizedSmall for Delta = 3");
+  }
+
+  DeltaColoringResult res;
+  res.delta = delta;
+  res.coloring.assign(static_cast<std::size_t>(n), kUncolored);
+  Rng rng(seed);
+
+  // Symmetry-breaking schedule: a proper (Delta+1)-coloring computed once,
+  // so every later class sweep costs Delta+1 rounds. The deterministic
+  // pipeline reduces Linial's O(Delta^2) colors one class per round
+  // (O(Delta^2) rounds, once); the randomized pipeline gets the same
+  // schedule by trial coloring in O(log n) rounds — this is where Theorem
+  // 3's O(log Delta) headstart over deterministic substrates comes from.
+  LinialResult lin;
+  if (opt.list_engine == ListEngine::kRandomized) {
+    const LinialResult raw = linial_coloring(g, res.ledger);
+    ListAssignment lists(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      for (Color x = 0; x <= delta; ++x) {
+        lists[static_cast<std::size_t>(v)].push_back(x);
+      }
+    }
+    lin.coloring.assign(static_cast<std::size_t>(n), kUncolored);
+    rand_list_coloring(g, lists, raw.coloring, raw.num_colors, rng,
+                       lin.coloring, res.ledger, "schedule");
+    lin.num_colors = delta + 1;
+  } else {
+    lin = delta_plus_one_schedule(g, res.ledger);
+  }
+
+  // Components run in parallel in a real network: charge the maximum
+  // component cost on top of the shared Linial rounds.
+  const auto comps = connected_components(g).vertex_sets();
+  RoundLedger max_component_ledger;
+  for (const auto& comp_vertices : comps) {
+    const auto sub = induced_subgraph(g, comp_vertices);
+    const Graph& comp = sub.graph;
+    DC_REQUIRE(!(is_clique(comp) && comp.num_vertices() == delta + 1),
+               "a component is a (Delta+1)-clique: not Delta-colorable");
+
+    Coloring local(static_cast<std::size_t>(comp.num_vertices()), kUncolored);
+    Coloring local_schedule(static_cast<std::size_t>(comp.num_vertices()));
+    for (int v = 0; v < comp.num_vertices(); ++v) {
+      local_schedule[static_cast<std::size_t>(v)] =
+          lin.coloring[static_cast<std::size_t>(
+              sub.to_parent[static_cast<std::size_t>(v)])];
+    }
+
+    RoundLedger ledger;
+    Rng comp_rng = rng.split();
+    ComponentContext ctx{comp,   delta,    local_schedule, lin.num_colors,
+                         opt,    comp_rng, ledger,         res.stats};
+
+    if (comp.max_degree() < delta || is_clique(comp) || is_cycle(comp) ||
+        is_path(comp)) {
+      // Not a nice Delta-regular-ish component: a single (deg+1)-list
+      // instance colors it (every vertex has list size Delta >= deg+1).
+      std::vector<int> all(static_cast<std::size_t>(comp.num_vertices()));
+      for (int v = 0; v < comp.num_vertices(); ++v) {
+        all[static_cast<std::size_t>(v)] = v;
+      }
+      DC_ENSURE(comp.max_degree() < delta,
+                "clique/cycle/path component with max degree == Delta "
+                "cannot occur (K_{Delta+1} rejected; cycles/paths have "
+                "degree 2 < 3)");
+      color_vertex_set_as_list_instance(comp, all, delta, local_schedule,
+                                        lin.num_colors, opt.list_engine,
+                                        &comp_rng, local, ledger,
+                                        "trivial-component");
+    } else {
+      switch (alg) {
+        case Algorithm::kDeterministic:
+          internal::run_deterministic(ctx, local);
+          break;
+        case Algorithm::kRandomizedLarge:
+          internal::run_randomized(ctx, local, /*small_variant=*/false);
+          break;
+        case Algorithm::kRandomizedSmall:
+          internal::run_randomized(ctx, local, /*small_variant=*/true);
+          break;
+        case Algorithm::kBaselineND:
+          internal::run_baseline_nd(ctx, local);
+          break;
+        case Algorithm::kBaselineGreedyBrooks:
+          internal::run_baseline_greedy_brooks(ctx, local);
+          break;
+      }
+      if (count_uncolored(local) > 0) {
+        internal::repair_completion(ctx, local);
+      }
+    }
+
+    validate_delta_coloring(comp, local, delta);
+    for (int v = 0; v < comp.num_vertices(); ++v) {
+      res.coloring[sub.to_parent[static_cast<std::size_t>(v)]] = local[v];
+    }
+    if (ledger.total() > max_component_ledger.total()) {
+      max_component_ledger = ledger;
+    }
+  }
+  res.ledger.merge(max_component_ledger);
+  validate_delta_coloring(g, res.coloring, delta);
+  return res;
+}
+
+}  // namespace
+
+DeltaColoringResult delta_color(const Graph& g, Algorithm alg,
+                                const DeltaColoringOptions& opt) {
+  const bool randomized = alg != Algorithm::kDeterministic;
+  const int tries = randomized && !opt.strict ? std::max(1, opt.max_retries + 1) : 1;
+  std::uint64_t seed = opt.seed;
+  for (int attempt_idx = 0;; ++attempt_idx) {
+    try {
+      DeltaColoringResult res = attempt(g, alg, opt, seed);
+      res.stats.retries_used = attempt_idx;
+      return res;
+    } catch (const ContractViolation&) {
+      if (attempt_idx + 1 >= tries) throw;
+      seed = seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL;
+    }
+  }
+}
+
+}  // namespace deltacol

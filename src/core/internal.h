@@ -1,0 +1,40 @@
+// Internal plumbing between the api dispatcher and the per-component
+// algorithm implementations. Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "core/api.h"
+#include "util/rng.h"
+
+namespace deltacol::internal {
+
+// Everything an algorithm needs for one nice connected component whose max
+// degree equals the global palette size.
+struct ComponentContext {
+  const Graph& g;            // the component (dense vertex ids)
+  int delta;                 // palette size == g.max_degree()
+  const Coloring& schedule;  // Linial O(Delta^2) symmetry-breaking coloring
+  int schedule_colors;
+  const DeltaColoringOptions& opt;
+  Rng& rng;
+  RoundLedger& ledger;
+  PhaseStats& stats;
+};
+
+void run_deterministic(ComponentContext& ctx, Coloring& c);
+void run_baseline_nd(ComponentContext& ctx, Coloring& c);
+void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c);
+void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant);
+
+// Section 4.3: color one leftover component (vertex list in ctx.g ids,
+// all currently uncolored) respecting the partial coloring in c.
+void color_small_component(ComponentContext& ctx, Coloring& c,
+                           const std::vector<int>& component);
+
+// Repair path: greedily color any still-uncolored vertices, invoking the
+// distributed Brooks fix for stuck ones. Always succeeds on nice graphs;
+// rounds are charged (sequentially, worst case) to "repair".
+void repair_completion(ComponentContext& ctx, Coloring& c);
+
+}  // namespace deltacol::internal

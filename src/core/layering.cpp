@@ -1,0 +1,125 @@
+#include "core/layering.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "coloring/list_coloring.h"
+#include "graph/ops.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+namespace {
+
+Layering layers_from_distances(const std::vector<int>& dist, int max_depth) {
+  Layering out;
+  out.layer.assign(dist.size(), kNoLayer);
+  int max_layer = -1;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] < 0) continue;
+    if (max_depth >= 0 && dist[v] > max_depth) continue;
+    out.layer[v] = dist[v];
+    max_layer = std::max(max_layer, dist[v]);
+  }
+  out.num_layers = max_layer + 1;
+  out.members.resize(static_cast<std::size_t>(out.num_layers));
+  for (std::size_t v = 0; v < out.layer.size(); ++v) {
+    if (out.layer[v] != kNoLayer) {
+      out.members[static_cast<std::size_t>(out.layer[v])].push_back(
+          static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Layering build_layers(const Graph& g, const std::vector<int>& base,
+                      int max_depth) {
+  std::vector<bool> all(static_cast<std::size_t>(g.num_vertices()), true);
+  return build_layers_restricted(g, base, max_depth, all);
+}
+
+Layering build_layers_restricted(const Graph& g, const std::vector<int>& base,
+                                 int max_depth,
+                                 const std::vector<bool>& allowed) {
+  DC_REQUIRE(allowed.size() == static_cast<std::size_t>(g.num_vertices()),
+             "allowed mask size mismatch");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<int> q;
+  for (int s : base) {
+    DC_REQUIRE(0 <= s && s < g.num_vertices(), "base vertex out of range");
+    DC_REQUIRE(allowed[static_cast<std::size_t>(s)],
+               "base vertex excluded by the restriction mask");
+    if (dist[static_cast<std::size_t>(s)] == 0) continue;
+    dist[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    if (max_depth >= 0 && dist[static_cast<std::size_t>(u)] >= max_depth) continue;
+    for (int w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] != -1) continue;
+      if (!allowed[static_cast<std::size_t>(w)]) continue;
+      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+      q.push(w);
+    }
+  }
+  return layers_from_distances(dist, max_depth);
+}
+
+void color_vertex_set_as_list_instance(const Graph& g,
+                                       const std::vector<int>& vertices,
+                                       int delta, const Coloring& schedule,
+                                       int schedule_colors, ListEngine engine,
+                                       Rng* rng, Coloring& c,
+                                       RoundLedger& ledger,
+                                       std::string_view phase) {
+  std::vector<int> todo;
+  for (int v : vertices) {
+    if (c[static_cast<std::size_t>(v)] == kUncolored) todo.push_back(v);
+  }
+  if (todo.empty()) return;
+  const auto sub = induced_subgraph(g, todo);
+  ListAssignment lists(static_cast<std::size_t>(sub.graph.num_vertices()));
+  Coloring sub_schedule(static_cast<std::size_t>(sub.graph.num_vertices()));
+  for (int i = 0; i < sub.graph.num_vertices(); ++i) {
+    const int p = sub.to_parent[static_cast<std::size_t>(i)];
+    lists[static_cast<std::size_t>(i)] = free_colors(g, c, p, delta);
+    sub_schedule[static_cast<std::size_t>(i)] =
+        schedule[static_cast<std::size_t>(p)];
+  }
+  DC_ENSURE(lists_have_deg_plus_one(sub.graph, lists),
+            "layer instance is not (deg+1): some vertex lacks an uncolored "
+            "lower-layer neighbor");
+  Coloring sub_c(static_cast<std::size_t>(sub.graph.num_vertices()), kUncolored);
+  switch (engine) {
+    case ListEngine::kDeterministic:
+      det_list_coloring(sub.graph, lists, sub_schedule, schedule_colors, sub_c,
+                        ledger, phase);
+      break;
+    case ListEngine::kRandomized:
+      DC_REQUIRE(rng != nullptr, "randomized engine needs an Rng");
+      rand_list_coloring(sub.graph, lists, sub_schedule, schedule_colors, *rng,
+                         sub_c, ledger, phase);
+      break;
+  }
+  for (int i = 0; i < sub.graph.num_vertices(); ++i) {
+    c[sub.to_parent[static_cast<std::size_t>(i)]] = sub_c[i];
+  }
+}
+
+void color_layers_in_reverse(const Graph& g, const Layering& layering,
+                             int delta, const Coloring& schedule,
+                             int schedule_colors, ListEngine engine, Rng* rng,
+                             Coloring& c, RoundLedger& ledger,
+                             std::string_view phase) {
+  for (int i = layering.num_layers - 1; i >= 1; --i) {
+    color_vertex_set_as_list_instance(
+        g, layering.members[static_cast<std::size_t>(i)], delta, schedule,
+        schedule_colors, engine, rng, c, ledger, phase);
+  }
+}
+
+}  // namespace deltacol

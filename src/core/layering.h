@@ -1,0 +1,68 @@
+// The paper's layering technique (Sections 1.3 and 3).
+//
+// Pick a base set B0, define layer B_i as the vertices at distance exactly i
+// from B0, remove all layers from the graph, and later color the layers in
+// reverse order: when layer B_i is colored, each of its vertices still has
+// an uncolored neighbor in B_{i-1}, so coloring G[B_i] while respecting
+// already-colored neighbors is a (deg+1)-list coloring instance. The base
+// layer is colored last by case-specific machinery (ruling-set independence
+// + Brooks in Theorem 4; independent DCCs in Phase (9); free nodes/DCCs in
+// Section 4.3).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+#include "util/rng.h"
+
+namespace deltacol {
+
+inline constexpr int kNoLayer = -1;
+
+struct Layering {
+  // layer[v] = i if v is in B_i (0 = base), kNoLayer if v was not reached
+  // within max_depth (it stays in the remainder graph H).
+  std::vector<int> layer;
+  int num_layers = 0;  // 1 + max assigned layer index
+  // Vertices of each layer, by index.
+  std::vector<std::vector<int>> members;
+};
+
+// Layers by G-distance to `base` (layer 0 = base itself), truncated at
+// max_depth (pass a negative max_depth for unbounded). `restrict_to`, if
+// non-empty, confines the BFS to those vertices (used for the C-layers of
+// Phase (5), which grow through uncolored vertices of H only).
+Layering build_layers(const Graph& g, const std::vector<int>& base,
+                      int max_depth);
+Layering build_layers_restricted(const Graph& g, const std::vector<int>& base,
+                                 int max_depth,
+                                 const std::vector<bool>& allowed);
+
+// Which engine completes each layer's (deg+1)-list instance.
+enum class ListEngine { kDeterministic, kRandomized };
+
+// Colors layers num_layers-1, ..., 1 (NOT layer 0) of the layering, in
+// reverse order, respecting whatever `c` already contains. `schedule` is the
+// O(Delta^2) symmetry-breaking coloring (Linial) used by the deterministic
+// engine and by the randomized engine's fallback. Charges one list-coloring
+// instance per layer to `phase`.
+void color_layers_in_reverse(const Graph& g, const Layering& layering,
+                             int delta, const Coloring& schedule,
+                             int schedule_colors, ListEngine engine, Rng* rng,
+                             Coloring& c, RoundLedger& ledger,
+                             std::string_view phase);
+
+// One (deg+1)-list instance: color exactly `vertices` (those uncolored in c)
+// from palette {0..delta-1} minus colored neighbors. Shared by all phases.
+void color_vertex_set_as_list_instance(const Graph& g,
+                                       const std::vector<int>& vertices,
+                                       int delta, const Coloring& schedule,
+                                       int schedule_colors, ListEngine engine,
+                                       Rng* rng, Coloring& c,
+                                       RoundLedger& ledger,
+                                       std::string_view phase);
+
+}  // namespace deltacol

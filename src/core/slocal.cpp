@@ -1,0 +1,36 @@
+#include "core/slocal.h"
+
+#include <algorithm>
+
+#include "brooks/distributed_brooks.h"
+#include "graph/structure.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+SlocalResult slocal_delta_coloring(const Graph& g) {
+  const int n = g.num_vertices();
+  const int delta = g.max_degree();
+  DC_REQUIRE(delta >= 3, "SLOCAL Delta-coloring requires max degree >= 3");
+  SlocalResult res;
+  res.coloring.assign(static_cast<std::size_t>(n), kUncolored);
+  const int rho = brooks_search_radius(n, delta);
+  for (int v = 0; v < n; ++v) {
+    if (const auto x = first_free_color(g, res.coloring, v, delta)) {
+      res.coloring[static_cast<std::size_t>(v)] = *x;
+      res.max_locality = std::max(res.max_locality, 1);
+      continue;
+    }
+    // All delta colors present among committed neighbors: repair via the
+    // token walk of Theorem 5 (possible because every vertex keeps, at its
+    // own turn, either slack or a repairable neighborhood — exactly the
+    // SLOCAL reading of the distributed Brooks' theorem).
+    const auto fix = brooks_fix(g, res.coloring, v, delta, rho);
+    ++res.brooks_invocations;
+    res.max_locality = std::max(res.max_locality, fix.radius_used + 1);
+  }
+  validate_delta_coloring(g, res.coloring, delta);
+  return res;
+}
+
+}  // namespace deltacol

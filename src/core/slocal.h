@@ -1,0 +1,31 @@
+// Remark 17: Theorem 5 implies an SLOCAL(O(log_Delta n)) algorithm for
+// Delta-coloring (see [GKM17] for the SLOCAL model).
+//
+// In the SLOCAL model vertices are processed in an adversarial order; each
+// vertex reads its radius-r neighborhood (including previously committed
+// outputs) and commits its own output irrevocably. Here: each vertex takes
+// a free color if one exists, otherwise it invokes the distributed Brooks
+// fix, which recolors only *uncommitted-safe* state inside radius
+// O(log_{Delta-1} n)... more precisely, it may recolor committed vertices —
+// SLOCAL permits reading them; the model-fidelity caveat and the measured
+// query radii are what the tests pin down.
+#pragma once
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace deltacol {
+
+struct SlocalResult {
+  Coloring coloring;
+  // Largest neighborhood radius any single vertex needed (the SLOCAL
+  // locality); Remark 17 predicts O(log_{Delta-1} n).
+  int max_locality = 0;
+  int brooks_invocations = 0;
+};
+
+// Delta-colors g (same preconditions as delta_color) by one SLOCAL pass in
+// vertex-id order.
+SlocalResult slocal_delta_coloring(const Graph& g);
+
+}  // namespace deltacol

@@ -1,0 +1,46 @@
+// Network decomposition: partition into low-diameter clusters plus a proper
+// coloring of the cluster graph.
+//
+// The paper invokes [PS92]/[AGLP89] 2^O(sqrt(log n)) decompositions for the
+// Theorem 21 baseline and Lemma 24 (P3)/(P4). We substitute the random-shift
+// (exponential-delay) clustering of Miller–Peng–Xu / Linial–Saks: every
+// vertex draws an exponential shift, joins the cluster of the shifted-closest
+// center, giving clusters of weak diameter O(log n / beta) w.h.p.; the
+// cluster graph is then (deg+1)-colored by randomized trial coloring. Any
+// (C, D) decomposition serves the callers identically (they only iterate
+// color classes and gather clusters); see DESIGN.md "Substitutions".
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+#include "util/rng.h"
+
+namespace deltacol {
+
+struct NetworkDecomposition {
+  std::vector<int> cluster;        // cluster id per vertex, dense in [0, k)
+  std::vector<int> cluster_color;  // proper color per cluster id
+  int num_colors = 0;
+  int max_diameter = 0;  // max weak cluster diameter (measured in G)
+
+  int num_clusters() const { return static_cast<int>(cluster_color.size()); }
+  std::vector<std::vector<int>> cluster_vertex_sets() const;
+};
+
+// Random-shift (C, D) decomposition with D = O(log n) w.h.p. `beta` is the
+// exponential rate; smaller beta means larger clusters and fewer colors.
+NetworkDecomposition random_shift_decomposition(const Graph& g, double beta,
+                                                Rng& rng, RoundLedger& ledger,
+                                                std::string_view phase);
+
+// Cluster graph: one vertex per cluster, edge when two clusters touch.
+Graph build_cluster_graph(const Graph& g, const std::vector<int>& cluster,
+                          int num_clusters);
+
+// Test oracle: clusters connected?, coloring proper?, diameter bound.
+bool is_valid_decomposition(const Graph& g, const NetworkDecomposition& nd);
+
+}  // namespace deltacol

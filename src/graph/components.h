@@ -1,0 +1,37 @@
+// Connectivity and biconnectivity (block) decomposition.
+//
+// Blocks (maximal 2-connected subgraphs, with bridges as K2 blocks) are the
+// backbone of the Gallai-tree characterization of non-degree-choosable
+// graphs (Theorem 8 of the paper): a graph is a Gallai tree iff every block
+// is a clique or an odd cycle.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace deltacol {
+
+struct ConnectedComponents {
+  std::vector<int> component;  // component id per vertex, dense in [0, count)
+  int count = 0;
+
+  std::vector<std::vector<int>> vertex_sets() const;
+};
+ConnectedComponents connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+struct BlockDecomposition {
+  // Vertex sets of the blocks. A bridge contributes a 2-vertex block; an
+  // isolated vertex contributes no block.
+  std::vector<std::vector<int>> blocks;
+  // True for cut vertices (articulation points).
+  std::vector<bool> is_articulation;
+};
+
+// Iterative Tarjan/Hopcroft lowpoint algorithm; linear time, no recursion so
+// deep graphs (long paths) are safe.
+BlockDecomposition block_decomposition(const Graph& g);
+
+}  // namespace deltacol

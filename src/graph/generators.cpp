@@ -1,0 +1,374 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/components.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+Graph path_graph(int n) {
+  DC_REQUIRE(n >= 1, "path needs at least one vertex");
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(int n) {
+  DC_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique_graph(int n) {
+  DC_REQUIRE(n >= 1, "clique needs at least one vertex");
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(int a, int b) {
+  DC_REQUIRE(a >= 1 && b >= 1, "both sides must be non-empty");
+  std::vector<Edge> edges;
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) edges.emplace_back(i, a + j);
+  }
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph star_graph(int leaves) {
+  DC_REQUIRE(leaves >= 1, "star needs at least one leaf");
+  std::vector<Edge> edges;
+  for (int i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::from_edges(leaves + 1, edges);
+}
+
+Graph grid_graph(int rows, int cols, bool wrap) {
+  DC_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  if (wrap) DC_REQUIRE(rows >= 3 && cols >= 3, "torus needs >= 3 per dimension");
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      else if (wrap) edges.emplace_back(id(r, c), id(r, 0));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      else if (wrap) edges.emplace_back(id(r, c), id(0, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph hypercube_graph(int dim) {
+  DC_REQUIRE(1 <= dim && dim <= 24, "hypercube dimension out of range");
+  const int n = 1 << dim;
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const int u = v ^ (1 << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph circulant_graph(int n, const std::vector<int>& offsets) {
+  DC_REQUIRE(n >= 3, "circulant needs at least three vertices");
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int o : offsets) {
+      DC_REQUIRE(1 <= o && o < n, "circulant offset out of range");
+      edges.emplace_back(v, (v + o) % n);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph petersen_graph() {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);          // outer 5-cycle
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    edges.emplace_back(i, 5 + i);                // spokes
+  }
+  return Graph::from_edges(10, edges);
+}
+
+Graph complete_kary_tree(int arity, int depth) {
+  DC_REQUIRE(arity >= 2 && depth >= 1, "need arity >= 2, depth >= 1");
+  std::vector<Edge> edges;
+  int next = 1;
+  std::vector<int> frontier{0};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> next_frontier;
+    for (int v : frontier) {
+      for (int c = 0; c < arity; ++c) {
+        edges.emplace_back(v, next);
+        next_frontier.push_back(next++);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return Graph::from_edges(next, edges);
+}
+
+Graph theta_graph(int inner1, int inner2, int inner3) {
+  DC_REQUIRE(inner1 >= 1 && inner2 >= 1 && inner3 >= 1,
+             "theta paths need at least one internal vertex each");
+  // Vertices: 0 and 1 are the hubs; then the three paths.
+  std::vector<Edge> edges;
+  int next = 2;
+  for (int len : {inner1, inner2, inner3}) {
+    int prev = 0;
+    for (int i = 0; i < len; ++i) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+    edges.emplace_back(prev, 1);
+  }
+  return Graph::from_edges(next, edges);
+}
+
+Graph clique_ring(int k, int clique_size) {
+  DC_REQUIRE(k >= 2 && clique_size >= 3, "need k >= 2 rings of cliques of size >= 3");
+  // Each clique has clique_size vertices; consecutive cliques share exactly
+  // one vertex, and the last shares one with the first.
+  const int fresh_per_clique = clique_size - 1;
+  const int n = k * fresh_per_clique;
+  std::vector<Edge> edges;
+  for (int i = 0; i < k; ++i) {
+    // Clique i consists of the shared vertex with clique i-1 (vertex
+    // i*fresh - 1, wrapping) plus fresh vertices.
+    std::vector<int> members;
+    members.push_back((i * fresh_per_clique + n - 1) % n);
+    for (int j = 0; j < fresh_per_clique; ++j) {
+      members.push_back(i * fresh_per_clique + j);
+    }
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        edges.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph triangle_cactus(int min_vertices) {
+  DC_REQUIRE(min_vertices >= 3, "need at least one triangle");
+  std::vector<Edge> edges;
+  int next = 3;
+  edges.emplace_back(0, 1);
+  edges.emplace_back(1, 2);
+  edges.emplace_back(0, 2);
+  // Every vertex of the current fringe gets its second triangle, breadth
+  // first, until the budget is reached.
+  std::vector<int> fringe{0, 1, 2};
+  std::size_t head = 0;
+  while (next < min_vertices && head < fringe.size()) {
+    const int v = fringe[head++];
+    const int a = next++;
+    const int b = next++;
+    edges.emplace_back(v, a);
+    edges.emplace_back(v, b);
+    edges.emplace_back(a, b);
+    fringe.push_back(a);
+    fringe.push_back(b);
+  }
+  return Graph::from_edges(next, edges);
+}
+
+bool regular_graph_feasible(int n, int d) {
+  return n >= 1 && d >= 0 && d < n && (static_cast<long long>(n) * d) % 2 == 0;
+}
+
+Graph random_regular(int n, int d, Rng& rng) {
+  DC_REQUIRE(regular_graph_feasible(n, d), "infeasible (n, d) for regular graph");
+  if (d == 0) return Graph::from_edges(n, std::vector<Edge>{});
+  // Configuration model: pair up n*d stubs, then repair self-loops and
+  // multi-edges with random edge swaps.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    std::vector<Edge> edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    // Repair pass: resolve conflicts by swapping endpoints with random
+    // non-conflicting edges.
+    auto key = [](int u, int v) {
+      return std::make_pair(std::min(u, v), std::max(u, v));
+    };
+    std::set<Edge> seen;
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto [u, v] = edges[i];
+      if (u == v || !seen.insert(key(u, v)).second) bad.push_back(i);
+    }
+    bool ok = true;
+    int budget = 50 * static_cast<int>(bad.size()) + 100;
+    while (!bad.empty() && budget-- > 0) {
+      const std::size_t i = bad.back();
+      const std::size_t j =
+          static_cast<std::size_t>(rng.next_below(edges.size()));
+      if (i == j) continue;
+      auto [a, b] = edges[i];
+      auto [c, e] = edges[j];
+      // Propose swap: (a,b),(c,e) -> (a,c),(b,e).
+      if (a == c || b == e) continue;
+      const auto k1 = key(a, c), k2 = key(b, e);
+      if (seen.count(k1) || seen.count(k2) || k1 == k2) continue;
+      // Remove old keys (edge j was valid; edge i may not be in `seen`).
+      if (c != e) seen.erase(key(c, e));
+      if (a != b) seen.erase(key(a, b));
+      edges[i] = {a, c};
+      edges[j] = {b, e};
+      seen.insert(k1);
+      seen.insert(k2);
+      bad.pop_back();
+      // Edge i might have been a duplicate sharing its key with another
+      // edge; re-validate is unnecessary because we only erased keys we
+      // inserted for valid edges, and both new keys were checked fresh.
+    }
+    if (!bad.empty()) ok = false;
+    if (!ok) continue;
+    Graph g = Graph::from_edges(n, edges);
+    if (g.num_edges() == static_cast<std::int64_t>(n) * d / 2) return g;
+  }
+  DC_ENSURE(false, "random_regular failed to converge; try different (n, d)");
+  return Graph{};
+}
+
+Graph random_tree(int n, int max_deg, Rng& rng) {
+  DC_REQUIRE(n >= 1, "tree needs at least one vertex");
+  DC_REQUIRE(max_deg >= 2 || n <= 2, "max degree too small for a tree");
+  std::vector<Edge> edges;
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  std::vector<int> attachable{0};
+  for (int v = 1; v < n; ++v) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.next_below(attachable.size()));
+    const int parent = attachable[idx];
+    edges.emplace_back(parent, v);
+    if (++deg[static_cast<std::size_t>(parent)] >= max_deg) {
+      attachable[idx] = attachable.back();
+      attachable.pop_back();
+    }
+    deg[static_cast<std::size_t>(v)] = 1;
+    if (max_deg > 1) attachable.push_back(v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_graph_max_degree(int n, int max_deg, double edge_factor, Rng& rng) {
+  DC_REQUIRE(n >= 2 && max_deg >= 2, "need n >= 2, max_deg >= 2");
+  DC_REQUIRE(edge_factor >= 1.0, "edge_factor < 1 would disconnect the graph");
+  // Backbone: random spanning tree respecting the cap; then random extra
+  // edges while respecting the cap.
+  Graph tree = random_tree(n, max_deg, rng);
+  std::vector<Edge> edges = tree.edge_list();
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  std::set<Edge> present(edges.begin(), edges.end());
+  for (const auto& [u, v] : edges) {
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+  const auto target =
+      static_cast<std::int64_t>(edge_factor * static_cast<double>(n));
+  int attempts = 20 * n;
+  while (static_cast<std::int64_t>(edges.size()) < target && attempts-- > 0) {
+    const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (deg[static_cast<std::size_t>(u)] >= max_deg ||
+        deg[static_cast<std::size_t>(v)] >= max_deg) {
+      continue;
+    }
+    const Edge e{std::min(u, v), std::max(u, v)};
+    if (!present.insert(e).second) continue;
+    edges.push_back(e);
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_gallai_tree(int n, int max_deg, Rng& rng) {
+  DC_REQUIRE(n >= 3 && max_deg >= 3, "need n >= 3 and max_deg >= 3");
+  // Grow a tree of blocks. Every block is a clique (size <= max_deg) or an
+  // odd cycle; blocks attach to an existing vertex with spare degree.
+  std::vector<Edge> edges;
+  std::vector<int> deg;
+  auto new_vertex = [&]() {
+    deg.push_back(0);
+    return static_cast<int>(deg.size()) - 1;
+  };
+  auto add_edge = [&](int u, int v) {
+    edges.emplace_back(u, v);
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  };
+  new_vertex();  // seed vertex 0
+  while (static_cast<int>(deg.size()) < n) {
+    // Pick an attachment point with spare degree.
+    std::vector<int> candidates;
+    for (int v = 0; v < static_cast<int>(deg.size()); ++v) {
+      if (deg[static_cast<std::size_t>(v)] < max_deg - 1) candidates.push_back(v);
+    }
+    if (candidates.empty()) {
+      // Every vertex is near-saturated; attach a pendant edge (a K2 block)
+      // to any vertex with one unit of spare degree to regain headroom.
+      int host = -1;
+      for (int v = 0; v < static_cast<int>(deg.size()); ++v) {
+        if (deg[static_cast<std::size_t>(v)] < max_deg) {
+          host = v;
+          break;
+        }
+      }
+      DC_ENSURE(host >= 0, "Gallai-tree growth ran out of attach points");
+      add_edge(host, new_vertex());
+      continue;
+    }
+    const int root =
+        candidates[static_cast<std::size_t>(rng.next_below(candidates.size()))];
+    const int spare = max_deg - deg[static_cast<std::size_t>(root)];
+    const int remaining = n - static_cast<int>(deg.size());
+    if (rng.next_bool(0.5) || spare < 2) {
+      // Attach a clique of size s (root + s-1 fresh vertices); root gains
+      // s-1 degree.
+      const int max_fresh = std::min({spare, max_deg - 1, remaining});
+      const int fresh = std::max(1, rng.next_int(1, std::max(1, max_fresh)));
+      std::vector<int> members{root};
+      for (int i = 0; i < fresh; ++i) members.push_back(new_vertex());
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          add_edge(members[a], members[b]);
+        }
+      }
+    } else {
+      // Attach an odd cycle of length 2k+1 through the root; root gains 2.
+      const int max_inner = std::max(2, std::min(remaining, 8));
+      int inner = rng.next_int(2, max_inner);
+      if (inner % 2 == 1) inner = inner == max_inner ? inner - 1 : inner + 1;
+      // cycle length = inner + 1 (root) must be odd => inner even.
+      int prev = root;
+      for (int i = 0; i < inner; ++i) {
+        const int v = new_vertex();
+        add_edge(prev, v);
+        prev = v;
+      }
+      add_edge(prev, root);
+    }
+  }
+  return Graph::from_edges(static_cast<int>(deg.size()), edges);
+}
+
+}  // namespace deltacol

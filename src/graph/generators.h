@@ -1,0 +1,67 @@
+// Graph generators: the workload zoo for tests, benches, and examples.
+//
+// The paper's algorithms require "nice" graphs (connected, not a path, cycle,
+// or clique) with a given maximum degree Delta. The generators below cover
+// the regimes the theorems distinguish: constant degree vs large degree,
+// locally tree-like (expanding, DCC-free balls) vs DCC-rich, and the
+// adversarial Gallai-tree-like instances where Delta-coloring is tight.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace deltacol {
+
+// Deterministic families -----------------------------------------------------
+Graph path_graph(int n);
+Graph cycle_graph(int n);
+Graph clique_graph(int n);
+Graph complete_bipartite(int a, int b);
+Graph star_graph(int leaves);
+// rows x cols grid; when wrap is true the grid is a torus (4-regular for
+// rows, cols >= 3).
+Graph grid_graph(int rows, int cols, bool wrap);
+Graph hypercube_graph(int dim);
+// Circulant graph C_n(offsets): i ~ i +/- o (mod n) for each offset o.
+Graph circulant_graph(int n, const std::vector<int>& offsets);
+Graph petersen_graph();
+// Complete tree where every internal vertex has `arity` children.
+Graph complete_kary_tree(int arity, int depth);
+// Two hub vertices joined by three internally disjoint paths of the given
+// inner lengths (number of internal vertices, each >= 1; at most one may be
+// zero-length... all >= 1 here). The smallest degree-choosable components
+// (DCCs) are theta graphs, so this is the canonical positive DCC test case.
+Graph theta_graph(int inner1, int inner2, int inner3);
+// Ring of k cliques of size s, consecutive cliques sharing one vertex.
+// 2-connected, neither clique nor odd cycle for k >= 2, s >= 3: a large DCC.
+Graph clique_ring(int k, int clique_size);
+
+// Randomized families --------------------------------------------------------
+// Uniform-ish d-regular simple graph via the configuration model with edge
+// swap repair. Requires n*d even and d < n.
+Graph random_regular(int n, int d, Rng& rng);
+// Connected random graph with max degree <= max_deg and roughly
+// edge_factor * n edges (edge_factor >= 1 keeps it connected via a random
+// spanning tree backbone).
+Graph random_graph_max_degree(int n, int max_deg, double edge_factor, Rng& rng);
+// Random tree with maximum degree <= max_deg (random attachment).
+Graph random_tree(int n, int max_deg, Rng& rng);
+// Random connected Gallai tree (every block a clique or odd cycle) with
+// approximately n vertices and maximum degree <= max_deg (>= 3). These are
+// the graphs with NO degree-choosable component anywhere: the hard case for
+// Delta-coloring.
+Graph random_gallai_tree(int n, int max_deg, Rng& rng);
+
+// Triangle cactus: a complete tree of triangles where every interior vertex
+// lies in exactly two triangles (degree 4) and only the fringe is
+// deficient. A Gallai tree (all blocks are triangles) whose interior is
+// 4-regular — the worst case for the distributed Brooks' theorem: a token
+// starting at the center must travel Theta(log n) hops to reach slack.
+Graph triangle_cactus(int min_vertices);
+
+// Returns true iff generating a d-regular graph on n vertices is possible.
+bool regular_graph_feasible(int n, int d);
+
+}  // namespace deltacol

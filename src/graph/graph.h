@@ -1,0 +1,72 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) layout.
+//
+// Vertices are dense integers [0, n). Adjacency lists are sorted, which makes
+// has_edge O(log deg) and set operations over neighborhoods cheap. Graphs in
+// this library are values: algorithms never mutate a Graph, they build new
+// ones (e.g. induced subgraphs) via GraphBuilder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace deltacol {
+
+using Edge = std::pair<int, int>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a graph from an edge list. Self-loops are rejected; duplicate
+  // edges (in either orientation) are merged.
+  static Graph from_edges(int n, std::span<const Edge> edges);
+  static Graph from_edges(int n, const std::vector<Edge>& edges) {
+    return from_edges(n, std::span<const Edge>(edges));
+  }
+
+  int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_.size()) / 2; }
+
+  int degree(int v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const int> neighbors(int v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  bool has_edge(int u, int v) const;
+
+  // Maximum degree Delta(G); 0 for the empty graph.
+  int max_degree() const { return max_degree_; }
+  int min_degree() const { return min_degree_; }
+
+  // All edges with u < v, in sorted order.
+  std::vector<Edge> edge_list() const;
+
+ private:
+  std::vector<int> offsets_{0};
+  std::vector<int> adj_;
+  int max_degree_ = 0;
+  int min_degree_ = 0;
+};
+
+// Incremental construction helper; tolerates duplicate add_edge calls.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int n) : n_(n) {}
+
+  void add_edge(int u, int v);
+  bool has_edge(int u, int v) const;
+  int num_vertices() const { return n_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  Graph build() const { return Graph::from_edges(n_, edges_); }
+
+ private:
+  int n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace deltacol

@@ -1,0 +1,79 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edge_list()) {
+    out << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  int n = -1;
+  std::int64_t m = -1;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (n < 0) {
+      DC_REQUIRE(static_cast<bool>(ls >> n >> m), "bad edge-list header");
+      DC_REQUIRE(n >= 0 && m >= 0, "negative counts in header");
+      continue;
+    }
+    int u, v;
+    DC_REQUIRE(static_cast<bool>(ls >> u >> v), "bad edge-list line");
+    edges.emplace_back(u, v);
+  }
+  DC_REQUIRE(n >= 0, "edge list missing header");
+  DC_REQUIRE(static_cast<std::int64_t>(edges.size()) == m,
+             "edge count does not match header");
+  return Graph::from_edges(n, edges);
+}
+
+void write_dot(std::ostream& out, const Graph& g,
+               const std::optional<Coloring>& coloring) {
+  static const char* kPalette[] = {"#e6194b", "#3cb44b", "#4363d8", "#ffe119",
+                                   "#f58231", "#911eb4", "#46f0f0", "#f032e6"};
+  constexpr int kPaletteSize = 8;
+  out << "graph G {\n  node [style=filled];\n";
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v;
+    if (coloring) {
+      const Color c = (*coloring)[static_cast<std::size_t>(v)];
+      out << " [label=\"" << v << ":" << c << "\"";
+      if (c >= 0 && c < kPaletteSize) {
+        out << ", fillcolor=\"" << kPalette[c] << "\"";
+      }
+      out << "]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.edge_list()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  DC_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_edge_list(out, g);
+  DC_ENSURE(out.good(), "write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  DC_REQUIRE(in.good(), "cannot open file for reading: " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace deltacol

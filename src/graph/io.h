@@ -1,0 +1,32 @@
+// Graph serialization: whitespace edge lists (one "u v" pair per line, with
+// an optional "n m" header) and Graphviz DOT output for visual debugging of
+// small instances and their colorings.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "coloring/coloring.h"
+#include "graph/graph.h"
+
+namespace deltacol {
+
+// Format:
+//   n m
+//   u1 v1
+//   ...
+// Lines starting with '#' are comments. Vertices are 0-based.
+void write_edge_list(std::ostream& out, const Graph& g);
+Graph read_edge_list(std::istream& in);
+
+// DOT output; when a coloring is given, vertices are filled from a small
+// palette (colors beyond the palette get numbered labels only).
+void write_dot(std::ostream& out, const Graph& g,
+               const std::optional<Coloring>& coloring = std::nullopt);
+
+// Convenience file wrappers (throw ContractViolation on I/O failure).
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace deltacol

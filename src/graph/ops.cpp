@@ -1,0 +1,69 @@
+#include "graph/ops.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+Subgraph induced_subgraph(const Graph& g, std::span<const int> vertices) {
+  Subgraph out;
+  out.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(out.to_parent.begin(), out.to_parent.end());
+  out.to_parent.erase(
+      std::unique(out.to_parent.begin(), out.to_parent.end()),
+      out.to_parent.end());
+  out.from_parent.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (int i = 0; i < static_cast<int>(out.to_parent.size()); ++i) {
+    const int p = out.to_parent[static_cast<std::size_t>(i)];
+    DC_REQUIRE(0 <= p && p < g.num_vertices(), "subgraph vertex out of range");
+    out.from_parent[static_cast<std::size_t>(p)] = i;
+  }
+  std::vector<Edge> edges;
+  for (int i = 0; i < static_cast<int>(out.to_parent.size()); ++i) {
+    const int p = out.to_parent[static_cast<std::size_t>(i)];
+    for (int w : g.neighbors(p)) {
+      const int j = out.from_parent[static_cast<std::size_t>(w)];
+      if (j > i) edges.emplace_back(i, j);
+    }
+  }
+  out.graph = Graph::from_edges(static_cast<int>(out.to_parent.size()), edges);
+  return out;
+}
+
+Subgraph remove_vertices(const Graph& g, std::span<const int> removed) {
+  std::vector<bool> gone(static_cast<std::size_t>(g.num_vertices()), false);
+  for (int v : removed) {
+    DC_REQUIRE(0 <= v && v < g.num_vertices(), "removed vertex out of range");
+    gone[static_cast<std::size_t>(v)] = true;
+  }
+  std::vector<int> keep;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!gone[static_cast<std::size_t>(v)]) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+Graph power_graph(const Graph& g, int k) {
+  DC_REQUIRE(k >= 1, "power graph exponent must be >= 1");
+  std::vector<Edge> edges;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v, k);
+    for (int u = v + 1; u < g.num_vertices(); ++u) {
+      if (dist[u] != kUnreachable) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  std::vector<Edge> edges = a.edge_list();
+  const int shift = a.num_vertices();
+  for (const auto& [u, v] : b.edge_list()) {
+    edges.emplace_back(u + shift, v + shift);
+  }
+  return Graph::from_edges(a.num_vertices() + b.num_vertices(), edges);
+}
+
+}  // namespace deltacol

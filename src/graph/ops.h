@@ -1,0 +1,37 @@
+// Graph-valued operations: induced subgraphs (with vertex maps), vertex
+// deletion, and power graphs G^k (used to run MIS-based ruling sets at
+// distance, Lemma 20).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace deltacol {
+
+// An induced subgraph together with the mapping between its dense vertex ids
+// and the parent graph's ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<int> to_parent;    // subgraph id -> parent id
+  std::vector<int> from_parent;  // parent id -> subgraph id, or -1
+};
+
+Subgraph induced_subgraph(const Graph& g, std::span<const int> vertices);
+inline Subgraph induced_subgraph(const Graph& g, const std::vector<int>& v) {
+  return induced_subgraph(g, std::span<const int>(v));
+}
+
+// G with a vertex subset removed (keeps ids of the remaining vertices dense;
+// returns the mapping like induced_subgraph).
+Subgraph remove_vertices(const Graph& g, std::span<const int> removed);
+
+// The k-th power: u ~ v iff 1 <= dist_G(u, v) <= k. Computed by truncated
+// BFS from every vertex; fine for simulation-scale graphs.
+Graph power_graph(const Graph& g, int k);
+
+// Disjoint union of two graphs (vertices of b are shifted by a.num_vertices()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+}  // namespace deltacol

@@ -1,0 +1,20 @@
+#include "local/neighborhood.h"
+
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+void NeighborhoodOracle::begin_gather(int radius, std::string_view phase) {
+  DC_REQUIRE(radius >= 0, "gather radius must be non-negative");
+  ledger_.charge(radius, phase);
+  gathered_radius_ = radius;
+}
+
+Subgraph NeighborhoodOracle::ball_subgraph(int v, int r) const {
+  DC_REQUIRE(r <= gathered_radius_,
+             "ball radius exceeds the last gathered radius; call begin_gather");
+  return induced_subgraph(graph_, ball(graph_, v, r));
+}
+
+}  // namespace deltacol

@@ -1,0 +1,41 @@
+// Neighborhood gathering with honest round charging.
+//
+// In the LOCAL model, any t-round algorithm is equivalent to every node
+// collecting its radius-t neighborhood (including all edges and any public
+// per-node annotations) and computing its output locally. The oracle below
+// implements that equivalence: callers extract balls and are charged the
+// radius once per synchronous "gather" step, not once per node — all nodes
+// gather in parallel in the same t rounds.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "local/round_ledger.h"
+
+namespace deltacol {
+
+class NeighborhoodOracle {
+ public:
+  NeighborhoodOracle(const Graph& g, RoundLedger& ledger)
+      : graph_(g), ledger_(ledger) {}
+
+  // Announce one parallel gather step of radius r (all nodes learn their
+  // r-balls simultaneously). Subsequent ball_subgraph calls with radius <= r
+  // are free until the next begin_gather.
+  void begin_gather(int radius, std::string_view phase);
+
+  // The induced subgraph on the r-ball around v. Requires a preceding
+  // begin_gather with radius >= r.
+  Subgraph ball_subgraph(int v, int r) const;
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  RoundLedger& ledger_;
+  int gathered_radius_ = -1;
+};
+
+}  // namespace deltacol

@@ -1,0 +1,46 @@
+#include "local/round_ledger.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
+  DC_REQUIRE(rounds >= 0, "cannot charge negative rounds");
+  total_ += rounds;
+  for (auto& p : phases_) {
+    if (p.phase == phase) {
+      p.rounds += rounds;
+      return;
+    }
+  }
+  phases_.push_back({std::string(phase), rounds});
+}
+
+std::int64_t RoundLedger::phase_total(std::string_view phase) const {
+  for (const auto& p : phases_) {
+    if (p.phase == phase) return p.rounds;
+  }
+  return 0;
+}
+
+void RoundLedger::merge(const RoundLedger& child) {
+  for (const auto& p : child.phases_) charge(p.rounds, p.phase);
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  os << "total rounds: " << total_ << '\n';
+  for (const auto& p : phases_) {
+    os << "  " << p.phase << ": " << p.rounds << '\n';
+  }
+  return os.str();
+}
+
+void RoundLedger::reset() {
+  total_ = 0;
+  phases_.clear();
+}
+
+}  // namespace deltacol

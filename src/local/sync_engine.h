@@ -1,0 +1,80 @@
+// Synchronous message-passing execution for LOCAL-model algorithms.
+//
+// A SyncEngine holds per-node state and executes synchronous rounds: first
+// every node produces messages for its neighbors from its current state,
+// then all messages are delivered simultaneously and every node updates its
+// state from its inbox. This is exactly the LOCAL model round structure
+// (unbounded message size: Msg is any value type).
+//
+// Algorithms that are naturally per-node (Luby's MIS, trial list coloring,
+// Linial's coloring) run through this engine; structural steps with large
+// radii use NeighborhoodOracle instead (see round_ledger.h for why both are
+// faithful).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+template <typename State, typename Msg>
+class SyncEngine {
+ public:
+  // Messages a node sends in one round: (neighbor, payload) pairs. Sending
+  // to a non-neighbor is a contract violation (the LOCAL model only has
+  // links to neighbors).
+  using Outbox = std::vector<std::pair<int, Msg>>;
+  // send(v, state) -> messages for neighbors of v.
+  using SendFn = std::function<Outbox(int, const State&)>;
+  // receive(v, state, inbox): update v's state from delivered messages.
+  // Inbox entries are (sender, payload), sorted by sender.
+  using Inbox = std::vector<std::pair<int, Msg>>;
+  using RecvFn = std::function<void(int, State&, const Inbox&)>;
+
+  SyncEngine(const Graph& g, RoundLedger& ledger, std::string phase)
+      : graph_(g),
+        ledger_(ledger),
+        phase_(std::move(phase)),
+        states_(static_cast<std::size_t>(g.num_vertices())) {}
+
+  const Graph& graph() const { return graph_; }
+
+  State& state(int v) { return states_[static_cast<std::size_t>(v)]; }
+  const State& state(int v) const { return states_[static_cast<std::size_t>(v)]; }
+
+  // Executes one synchronous round over the whole graph and charges 1 round.
+  void round(const SendFn& send, const RecvFn& receive) {
+    const int n = graph_.num_vertices();
+    std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
+        DC_REQUIRE(graph_.has_edge(v, to),
+                   "LOCAL model: messages only travel along edges");
+        inboxes[static_cast<std::size_t>(to)].emplace_back(v, std::move(msg));
+      }
+    }
+    for (auto& inbox : inboxes) {
+      std::sort(inbox.begin(), inbox.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    for (int v = 0; v < n; ++v) {
+      receive(v, states_[static_cast<std::size_t>(v)],
+              inboxes[static_cast<std::size_t>(v)]);
+    }
+    ledger_.charge(1, phase_);
+  }
+
+ private:
+  const Graph& graph_;
+  RoundLedger& ledger_;
+  std::string phase_;
+  std::vector<State> states_;
+};
+
+}  // namespace deltacol

@@ -1,0 +1,96 @@
+#include "mis/luby_sync.h"
+
+#include <string>
+
+#include "local/sync_engine.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+namespace {
+
+enum class NodeStatus { kActive, kInMis, kOut };
+
+struct NodeState {
+  NodeStatus status = NodeStatus::kActive;
+  std::uint64_t priority = 0;
+  Rng rng{0};
+};
+
+// Messages carry either a priority announcement or a join notification.
+struct Msg {
+  bool is_join = false;
+  std::uint64_t priority = 0;
+};
+
+}  // namespace
+
+std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
+                                           RoundLedger& ledger,
+                                           std::string_view phase) {
+  const int n = g.num_vertices();
+  SyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase));
+  // LOCAL-model nodes own private randomness: seed each node once from the
+  // caller's stream (private coins, not communication).
+  for (int v = 0; v < n; ++v) engine.state(v).rng = rng.split();
+
+  int remaining = n;
+  while (remaining > 0) {
+    // Private coin flips — no communication round.
+    for (int v = 0; v < n; ++v) {
+      NodeState& s = engine.state(v);
+      if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
+    }
+    // Round A: actives announce priorities; local minima join.
+    engine.round(
+        [&g](int v, const NodeState& s) {
+          SyncEngine<NodeState, Msg>::Outbox out;
+          if (s.status == NodeStatus::kActive) {
+            for (int u : g.neighbors(v)) out.push_back({u, {false, s.priority}});
+          }
+          return out;
+        },
+        [](int v, NodeState& s, const SyncEngine<NodeState, Msg>::Inbox& in) {
+          if (s.status != NodeStatus::kActive) return;
+          bool local_min = true;
+          for (const auto& [from, msg] : in) {
+            if (msg.is_join) continue;
+            if (msg.priority < s.priority ||
+                (msg.priority == s.priority && from < v)) {
+              local_min = false;
+            }
+          }
+          if (local_min) s.status = NodeStatus::kInMis;
+        });
+    // Round B: joiners notify, active neighbors drop out.
+    engine.round(
+        [&g](int v, const NodeState& s) {
+          SyncEngine<NodeState, Msg>::Outbox out;
+          if (s.status == NodeStatus::kInMis) {
+            for (int u : g.neighbors(v)) out.push_back({u, {true, 0}});
+          }
+          return out;
+        },
+        [](int, NodeState& s, const SyncEngine<NodeState, Msg>::Inbox& in) {
+          if (s.status != NodeStatus::kActive) return;
+          for (const auto& [from, msg] : in) {
+            (void)from;
+            if (msg.is_join) {
+              s.status = NodeStatus::kOut;
+              return;
+            }
+          }
+        });
+    remaining = 0;
+    for (int v = 0; v < n; ++v) {
+      if (engine.state(v).status == NodeStatus::kActive) ++remaining;
+    }
+  }
+  std::vector<bool> out(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    out[static_cast<std::size_t>(v)] = engine.state(v).status == NodeStatus::kInMis;
+  }
+  return out;
+}
+
+}  // namespace deltacol

@@ -1,0 +1,26 @@
+// Luby's MIS implemented literally on the synchronous message-passing
+// engine (SyncEngine): every round each active node draws a priority, sends
+// it to its neighbors, and joins when it holds the local minimum; joiners
+// then notify neighbors, which deactivate.
+//
+// Functionally equivalent to mis/luby_mis (which runs the same logic over
+// shared arrays and charges the same rounds); this version exists to pin
+// down that the library's algorithms are genuinely message-passing
+// realizable — the test suite asserts both engines produce a valid MIS and
+// charge identical round counts per iteration structure.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+#include "util/rng.h"
+
+namespace deltacol {
+
+std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
+                                           RoundLedger& ledger,
+                                           std::string_view phase);
+
+}  // namespace deltacol

@@ -1,0 +1,47 @@
+// Contract checking macros used throughout the library.
+//
+// DC_REQUIRE  — precondition on the caller; violation is a logic error.
+// DC_ENSURE   — postcondition / internal invariant; violation is a bug in
+//               this library.
+//
+// Both throw (rather than abort) so that tests can assert on contract
+// violations and so that long benchmark sweeps surface a clean error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deltacol {
+
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace deltacol
+
+#define DC_REQUIRE(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::deltacol::detail::contract_fail("DC_REQUIRE", #cond, __FILE__,       \
+                                        __LINE__, (msg));                    \
+  } while (0)
+
+#define DC_ENSURE(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::deltacol::detail::contract_fail("DC_ENSURE", #cond, __FILE__,        \
+                                        __LINE__, (msg));                    \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace deltacol {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  DC_REQUIRE(columns_ > 0, "CSV header must be non-empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  DC_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << v;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  DC_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace deltacol

@@ -1,0 +1,28 @@
+// Minimal CSV emission for experiment outputs.
+//
+// Benchmarks print their series both as human-readable rows (so the paper's
+// "tables" can be read straight off the bench output) and, optionally, as CSV
+// files for plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deltacol {
+
+class CsvWriter {
+ public:
+  // Writes to the given stream; the stream must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+}  // namespace deltacol

@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+}
+
+double Summary::mean() const {
+  DC_REQUIRE(!samples_.empty(), "mean of empty summary");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  DC_REQUIRE(!samples_.empty(), "min of empty summary");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  DC_REQUIRE(!samples_.empty(), "max of empty summary");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  DC_REQUIRE(!samples_.empty(), "percentile of empty summary");
+  DC_REQUIRE(0.0 <= p && p <= 100.0, "percentile must be in [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "(empty)";
+    return os.str();
+  }
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "] (n="
+     << count() << ")";
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  DC_REQUIRE(x.size() == y.size(), "fit_linear needs paired samples");
+  DC_REQUIRE(x.size() >= 2, "fit_linear needs at least two samples");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace deltacol

@@ -1,0 +1,118 @@
+// The distributed Brooks fix (Theorem 5): uncolor one node of a valid
+// Delta-coloring, fix it, and check the recoloring radius bound.
+#include <gtest/gtest.h>
+
+#include "brooks/distributed_brooks.h"
+#include "coloring/brooks_seq.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+class BrooksFixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrooksFixTest, FixesRandomUncoloredVertexOnRegularGraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph g = random_regular(400, 4, rng);
+  if (!is_connected(g)) GTEST_SKIP();
+  const int delta = 4;
+  const Coloring base = brooks_coloring(g);
+  const int rho = brooks_search_radius(g.num_vertices(), delta);
+  for (int rep = 0; rep < 10; ++rep) {
+    Coloring c = base;
+    const int v = rng.next_int(0, g.num_vertices() - 1);
+    c[static_cast<std::size_t>(v)] = kUncolored;
+    const auto fix = brooks_fix(g, c, v, delta, rho);
+    validate_delta_coloring(g, c, delta);
+    EXPECT_FALSE(fix.used_component_recolor);
+    EXPECT_LE(fix.radius_used, rho);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrooksFixTest, ::testing::Range(1, 8));
+
+TEST(BrooksFix, DeficientNodeCaseOnGrid) {
+  // Open grid: degree < 4 at the border, so a token walk toward the border
+  // (or an early free color) always works.
+  const Graph g = grid_graph(10, 10, false);
+  Coloring c = brooks_coloring(g);
+  const int center = 5 * 10 + 5;
+  c[center] = kUncolored;
+  const auto fix = brooks_fix(g, c, center, 4, brooks_search_radius(100, 4));
+  validate_delta_coloring(g, c, 4);
+  EXPECT_FALSE(fix.used_component_recolor);
+}
+
+TEST(BrooksFix, DccCaseOnTorus) {
+  // Torus: 4-regular, no deficient vertices; balls are full of 4-cycles
+  // (DCCs), so the DCC path must fire whenever no early free color exists.
+  const Graph g = grid_graph(8, 8, true);
+  Rng rng(5);
+  int dcc_uses = 0;
+  const Coloring base = brooks_coloring(g);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    Coloring c = base;
+    c[static_cast<std::size_t>(v)] = kUncolored;
+    const auto fix = brooks_fix(g, c, v, 4, brooks_search_radius(64, 4));
+    validate_delta_coloring(g, c, 4);
+    dcc_uses += fix.used_dcc ? 1 : 0;
+  }
+  // In a proper Brooks coloring of a torus many vertices see all 4 colors;
+  // at least some fixes must go through the DCC machinery or free colors.
+  SUCCEED() << "dcc uses: " << dcc_uses;
+}
+
+TEST(BrooksFix, FreeColorFastPathRadiusZero) {
+  // A vertex with a repeated color among its neighbors refixes in place.
+  const Graph g = star_graph(4);
+  Coloring c{kUncolored, 0, 0, 0, 0};
+  const auto fix = brooks_fix(g, c, 0, 4, 3);
+  EXPECT_EQ(fix.radius_used, 0);
+  EXPECT_TRUE(is_proper_complete(g, c));
+}
+
+TEST(BrooksFix, EmergencyComponentRecolorWhenRadiusTooSmall) {
+  // Radius 1 on a big torus: no DCC or deficient vertex in sight when the
+  // ball is DCC-free... on a torus radius 1 balls are stars (no DCC), and
+  // all degrees are 4, so the emergency path must fire when no free color
+  // exists at the uncolored vertex.
+  const Graph g = grid_graph(10, 10, true);
+  const Coloring base = brooks_coloring(g);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    Coloring c = base;
+    c[static_cast<std::size_t>(v)] = kUncolored;
+    // Find a vertex whose neighbors use all 4 colors.
+    if (first_free_color(g, c, v, 4).has_value()) continue;
+    const auto fix = brooks_fix(g, c, v, 4, /*max_radius=*/1);
+    validate_delta_coloring(g, c, 4);
+    EXPECT_TRUE(fix.used_component_recolor);
+    return;
+  }
+  GTEST_SKIP() << "coloring left free colors everywhere";
+}
+
+TEST(BrooksFix, RadiusBoundFormula) {
+  EXPECT_GE(brooks_search_radius(1000, 4), 2);
+  EXPECT_GE(brooks_search_radius(1000, 3),
+            brooks_search_radius(1000, 5));  // smaller base, larger radius
+  EXPECT_THROW(brooks_search_radius(10, 2), ContractViolation);
+}
+
+TEST(BrooksFix, WorksWithOtherUncoloredVerticesFarAway) {
+  Rng rng(9);
+  const Graph g = random_regular(500, 4, rng);
+  if (!is_connected(g)) GTEST_SKIP();
+  Coloring c = brooks_coloring(g);
+  // Uncolor two far-apart vertices; fix one — the other stays uncolored and
+  // must not break the machinery (partial-coloring tolerance).
+  c[0] = kUncolored;
+  c[499] = kUncolored;
+  brooks_fix(g, c, 0, 4, brooks_search_radius(500, 4));
+  EXPECT_EQ(count_uncolored(c), 1);
+  EXPECT_TRUE(is_proper_partial(g, c));
+}
+
+}  // namespace
+}  // namespace deltacol

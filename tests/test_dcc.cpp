@@ -1,0 +1,114 @@
+// Degree-choosable component machinery (Definitions 6-9, DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcc/dcc.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/structure.h"
+#include "graph/traversal.h"
+#include "local/round_ledger.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+TEST(Dcc, IsDccShapes) {
+  EXPECT_TRUE(is_dcc(cycle_graph(6)));           // even cycle
+  EXPECT_FALSE(is_dcc(cycle_graph(7)));          // odd cycle
+  EXPECT_FALSE(is_dcc(clique_graph(5)));         // clique
+  EXPECT_TRUE(is_dcc(theta_graph(1, 2, 3)));     // theta
+  EXPECT_TRUE(is_dcc(complete_bipartite(2, 3))); // K_{2,3}
+  EXPECT_FALSE(is_dcc(path_graph(4)));           // not 2-connected
+  EXPECT_FALSE(is_dcc(star_graph(4)));
+  EXPECT_TRUE(is_dcc(hypercube_graph(3)));
+  EXPECT_TRUE(is_dcc(petersen_graph()));
+  EXPECT_TRUE(is_dcc(clique_ring(3, 4)));
+  // Triangle with pendant: not 2-connected.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  EXPECT_FALSE(is_dcc(b.build()));
+}
+
+TEST(Dcc, DccBlocksAgreeWithGallaiTest) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_graph_max_degree(30, 4, 1.4, rng);
+    EXPECT_EQ(dcc_blocks(g).empty(), is_gallai_tree(g)) << "trial " << trial;
+  }
+}
+
+TEST(Dcc, BallContainsDcc) {
+  // In a big even cycle, radius must reach halfway to see the cycle.
+  const Graph g = cycle_graph(12);
+  EXPECT_FALSE(ball_contains_dcc(g, 0, 5));
+  EXPECT_TRUE(ball_contains_dcc(g, 0, 6));
+  // Trees never contain DCCs.
+  Rng rng(2);
+  const Graph t = random_tree(100, 4, rng);
+  for (int v = 0; v < 100; v += 7) EXPECT_FALSE(ball_contains_dcc(t, v, 5));
+  // Gallai trees never contain DCCs at any radius.
+  const Graph gt = random_gallai_tree(80, 4, rng);
+  for (int v = 0; v < gt.num_vertices(); v += 9) {
+    EXPECT_FALSE(ball_contains_dcc(gt, v, 4));
+  }
+}
+
+TEST(Dcc, DetectInvariants) {
+  Rng rng(77);
+  const Graph g = random_regular(300, 4, rng);
+  RoundLedger ledger;
+  const auto det = detect_dccs(g, 2, ledger, "dcc");
+  EXPECT_EQ(ledger.total(), 3);  // r + 1
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(det.has_dcc[v], ball_contains_dcc(g, v, 2)) << "vertex " << v;
+    EXPECT_EQ(det.has_dcc[v], det.selected[v] != -1);
+  }
+  std::set<std::vector<int>> unique(det.dccs.begin(), det.dccs.end());
+  EXPECT_EQ(unique.size(), det.dccs.size());
+  for (const auto& d : det.dccs) {
+    const auto sub = induced_subgraph(g, d);
+    EXPECT_TRUE(is_dcc(sub.graph));
+    EXPECT_LE(graph_radius(sub.graph), det.max_dcc_radius);
+  }
+}
+
+TEST(Dcc, SelectionIsDeterministic) {
+  Rng rng(78);
+  const Graph g = random_regular(200, 4, rng);
+  RoundLedger l1, l2;
+  const auto a = detect_dccs(g, 2, l1, "dcc");
+  const auto b = detect_dccs(g, 2, l2, "dcc");
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.dccs, b.dccs);
+}
+
+TEST(Dcc, VirtualGraphEdges) {
+  // Two DCC vertex sets sharing a vertex => edge; far apart => none.
+  const Graph g = path_graph(10);  // host only provides adjacency
+  const std::vector<std::vector<int>> dccs{{0, 1, 2}, {2, 3}, {7, 8}};
+  const Graph vg = build_dcc_virtual_graph(g, dccs);
+  EXPECT_EQ(vg.num_vertices(), 3);
+  EXPECT_TRUE(vg.has_edge(0, 1));   // share vertex 2
+  EXPECT_FALSE(vg.has_edge(0, 2));  // distance > 1
+  EXPECT_FALSE(vg.has_edge(1, 2));  // 3-7 not adjacent
+  // Adjacent-but-disjoint sets are connected too.
+  const std::vector<std::vector<int>> dccs2{{0, 1}, {2, 3}};
+  const Graph vg2 = build_dcc_virtual_graph(g, dccs2);
+  EXPECT_TRUE(vg2.has_edge(0, 1));  // edge 1-2 of the path joins them
+}
+
+TEST(Dcc, TorusBallsSeeFourCycles) {
+  const Graph g = grid_graph(8, 8, true);
+  RoundLedger ledger;
+  const auto det = detect_dccs(g, 2, ledger, "dcc");
+  // Every torus vertex lies on a 4-cycle: all balls contain DCCs.
+  for (int v = 0; v < g.num_vertices(); ++v) EXPECT_TRUE(det.has_dcc[v]);
+}
+
+}  // namespace
+}  // namespace deltacol

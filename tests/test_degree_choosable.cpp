@@ -1,0 +1,103 @@
+// Theorem 8 machinery: constructive coloring of degree-choosable graphs.
+#include <gtest/gtest.h>
+
+#include "coloring/degree_choosable.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+ListAssignment tight_lists(const Graph& g, int palette) {
+  ListAssignment lists(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (Color x = 0; x < std::min(palette, g.degree(v)); ++x) {
+      lists[static_cast<std::size_t>(v)].push_back(x);
+    }
+  }
+  return lists;
+}
+
+TEST(DegreeChoosable, EvenCycleTightIdenticalLists) {
+  const Graph g = cycle_graph(8);
+  const ListAssignment lists(8, {0, 1});
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(is_proper_complete(g, *c));
+  EXPECT_TRUE(respects_lists(*c, lists));
+}
+
+TEST(DegreeChoosable, OddCycleTightIdenticalListsInfeasible) {
+  const Graph g = cycle_graph(7);
+  const ListAssignment lists(7, {0, 1});
+  EXPECT_FALSE(degree_choosable_coloring(g, lists).has_value());
+}
+
+TEST(DegreeChoosable, ThetaGraphDegLists) {
+  const Graph g = theta_graph(2, 2, 3);
+  const auto lists = tight_lists(g, 3);
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(respects_lists(*c, lists));
+  EXPECT_TRUE(is_proper_complete(g, *c));
+}
+
+TEST(DegreeChoosable, CliqueRingDegLists) {
+  const Graph g = clique_ring(4, 4);
+  const auto lists = tight_lists(g, g.max_degree());
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(is_proper_complete(g, *c));
+  EXPECT_TRUE(respects_lists(*c, lists));
+}
+
+TEST(DegreeChoosable, SlackVertexPath) {
+  // A path with deg-sized lists at internal vertices and slack at one end.
+  const Graph g = path_graph(5);
+  ListAssignment lists{{0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}};
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());  // endpoints have slack: |L| = 2 > deg = 1
+  EXPECT_TRUE(is_proper_complete(g, *c));
+}
+
+TEST(DegreeChoosable, HypercubeTightLists) {
+  const Graph g = hypercube_graph(3);
+  const auto lists = tight_lists(g, 3);
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(respects_lists(*c, lists));
+  EXPECT_TRUE(is_proper_complete(g, *c));
+}
+
+TEST(DegreeChoosable, PetersenWithMixedTightLists) {
+  const Graph g = petersen_graph();
+  // Lists of size deg = 3, but with shifted palettes per vertex.
+  ListAssignment lists(10);
+  for (int v = 0; v < 10; ++v) {
+    for (int x = 0; x < 3; ++x) lists[v].push_back((v % 2) + x);
+  }
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(respects_lists(*c, lists));
+  EXPECT_TRUE(is_proper_complete(g, *c));
+}
+
+TEST(DegreeChoosable, K4TightIdenticalListsInfeasible) {
+  // Cliques are Gallai trees: deg-sized identical lists are infeasible.
+  const Graph g = clique_graph(4);
+  const ListAssignment lists(4, {0, 1, 2});
+  EXPECT_FALSE(degree_choosable_coloring(g, lists).has_value());
+}
+
+TEST(DegreeChoosable, DisjointTightListsOnOddCycleFeasible) {
+  // Odd cycle with NON-identical lists is degree-colorable.
+  const Graph g = cycle_graph(5);
+  ListAssignment lists{{0, 1}, {0, 1}, {0, 1}, {0, 1}, {1, 2}};
+  const auto c = degree_choosable_coloring(g, lists);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(respects_lists(*c, lists));
+  EXPECT_TRUE(is_proper_complete(g, *c));
+}
+
+}  // namespace
+}  // namespace deltacol

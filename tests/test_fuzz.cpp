@@ -1,0 +1,100 @@
+// Randomized end-to-end fuzzing: random graph family x random algorithm x
+// random options. The single invariant that must survive everything:
+// delta_color returns a proper Delta-coloring (or throws ContractViolation
+// for inputs it documents as rejected).
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "graph/structure.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+Graph random_workload(Rng& rng) {
+  switch (rng.next_int(0, 6)) {
+    case 0: {
+      int n = rng.next_int(20, 300);
+      int d = rng.next_int(3, 6);
+      if ((n * d) % 2 == 1) ++n;
+      return random_regular(n, d, rng);
+    }
+    case 1:
+      return random_graph_max_degree(rng.next_int(20, 300),
+                                     rng.next_int(3, 7), 1.5, rng);
+    case 2:
+      return random_tree(rng.next_int(20, 300), rng.next_int(3, 5), rng);
+    case 3:
+      return random_gallai_tree(rng.next_int(20, 150), rng.next_int(3, 5), rng);
+    case 4:
+      return grid_graph(rng.next_int(3, 12), rng.next_int(3, 12),
+                        rng.next_bool(0.5));
+    case 5: {
+      // Disconnected mixtures.
+      Graph g = random_tree(rng.next_int(10, 60), 4, rng);
+      g = disjoint_union(g, grid_graph(4, rng.next_int(3, 8), true));
+      if (rng.next_bool(0.5)) g = disjoint_union(g, clique_graph(3));
+      return g;
+    }
+    default:
+      return clique_ring(rng.next_int(2, 6), rng.next_int(3, 5));
+  }
+}
+
+DeltaColoringOptions random_options(Rng& rng) {
+  DeltaColoringOptions opt;
+  opt.seed = rng.next_u64();
+  opt.dcc_radius = rng.next_int(1, 3);
+  opt.small_variant_radius_cap = rng.next_int(2, 5);
+  opt.backoff = rng.next_bool(0.3) ? rng.next_int(3, 7) : -1;
+  if (rng.next_bool(0.3)) {
+    opt.selection_prob = rng.next_double() * 0.2;
+  }
+  opt.use_paper_constants = rng.next_bool(0.2);
+  opt.list_engine = rng.next_bool(0.5) ? ListEngine::kDeterministic
+                                       : ListEngine::kRandomized;
+  return opt;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, EveryRunYieldsValidColoringOrDocumentedRejection) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = random_workload(rng);
+    const int delta = g.max_degree();
+    Algorithm alg = static_cast<Algorithm>(rng.next_int(0, 4));
+    const DeltaColoringOptions opt = random_options(rng);
+    const bool must_reject =
+        delta < 3 || (alg == Algorithm::kRandomizedLarge && delta < 4);
+    if (must_reject) {
+      EXPECT_THROW(delta_color(g, alg, opt), ContractViolation);
+      continue;
+    }
+    // (Delta+1)-clique components are rejected by contract.
+    bool has_big_clique = false;
+    for (const auto& comp : connected_components(g).vertex_sets()) {
+      const auto sub = induced_subgraph(g, comp);
+      if (is_clique(sub.graph) && sub.graph.num_vertices() == delta + 1) {
+        has_big_clique = true;
+      }
+    }
+    if (has_big_clique) {
+      EXPECT_THROW(delta_color(g, alg, opt), ContractViolation);
+      continue;
+    }
+    const auto res = delta_color(g, alg, opt);
+    EXPECT_NO_THROW(validate_delta_coloring(g, res.coloring, delta))
+        << algorithm_name(alg) << " trial " << trial;
+    EXPECT_GE(res.ledger.total(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace deltacol

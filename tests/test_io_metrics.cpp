@@ -1,0 +1,112 @@
+// Graph serialization and workload metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(5);
+  const Graph g = random_graph_max_degree(80, 5, 1.6, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(Io, ReadSkipsComments) {
+  std::istringstream in("# a comment\n3 2\n0 1\n# another\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Io, ReadRejectsBadInput) {
+  std::istringstream missing_header("0 1\n");
+  EXPECT_THROW(read_edge_list(missing_header), ContractViolation);
+  std::istringstream wrong_count("3 5\n0 1\n");
+  EXPECT_THROW(read_edge_list(wrong_count), ContractViolation);
+}
+
+TEST(Io, DotContainsVerticesAndColors) {
+  const Graph g = path_graph(3);
+  std::ostringstream os;
+  write_dot(os, g, Coloring{0, 1, 0});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("graph G"), std::string::npos);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = petersen_graph();
+  const std::string path = "/tmp/deltacol_io_test.edges";
+  save_edge_list(path, g);
+  const Graph h = load_edge_list(path);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+  EXPECT_THROW(load_edge_list("/nonexistent/dir/x.edges"), ContractViolation);
+}
+
+TEST(Metrics, GirthKnownValues) {
+  EXPECT_EQ(girth(cycle_graph(7)), 7);
+  EXPECT_EQ(girth(cycle_graph(4)), 4);
+  EXPECT_EQ(girth(clique_graph(4)), 3);
+  EXPECT_EQ(girth(petersen_graph()), 5);
+  EXPECT_EQ(girth(hypercube_graph(3)), 4);
+  EXPECT_EQ(girth(complete_bipartite(2, 3)), 4);
+  Rng rng(1);
+  EXPECT_EQ(girth(random_tree(50, 3, rng)), -1);
+}
+
+TEST(Metrics, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(clique_graph(5)).degeneracy, 4);
+  EXPECT_EQ(degeneracy(cycle_graph(9)).degeneracy, 2);
+  Rng rng(2);
+  EXPECT_EQ(degeneracy(random_tree(100, 4, rng)).degeneracy, 1);
+  EXPECT_EQ(degeneracy(grid_graph(5, 5, false)).degeneracy, 2);
+  // The peeling order is a permutation.
+  const auto res = degeneracy(petersen_graph());
+  EXPECT_EQ(res.degeneracy, 3);
+  std::vector<int> sorted = res.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Metrics, Triangles) {
+  EXPECT_EQ(count_triangles(clique_graph(4)), 4);
+  EXPECT_EQ(count_triangles(clique_graph(5)), 10);
+  EXPECT_EQ(count_triangles(cycle_graph(3)), 1);
+  EXPECT_EQ(count_triangles(cycle_graph(6)), 0);
+  EXPECT_EQ(count_triangles(petersen_graph()), 0);
+}
+
+TEST(Metrics, ClusteringCoefficient) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(clique_graph(5)), 1.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(cycle_graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(path_graph(4)), 0.0);
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const auto h = degree_histogram(star_graph(4));
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[1], 4);
+  EXPECT_EQ(h[4], 1);
+}
+
+TEST(Metrics, GirthCertifiesDccFreeBalls) {
+  // If girth(g) > 2r + 1 every r-ball is a tree, hence DCC-free: girth is
+  // an independent oracle for the DCC machinery.
+  const Graph g = petersen_graph();  // girth 5 => 1-balls and 2-balls(edges)
+  EXPECT_GT(girth(g), 2 * 1 + 1);
+}
+
+}  // namespace
+}  // namespace deltacol

@@ -1,0 +1,107 @@
+// The layering driver shared by every algorithm (paper Section 3).
+#include <gtest/gtest.h>
+
+#include "coloring/linial.h"
+#include "core/layering.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+TEST(Layering, LayersAreDistances) {
+  const Graph g = grid_graph(7, 7, false);
+  const Layering l = build_layers(g, {24}, -1);  // center
+  const auto d = bfs_distances(g, 24);
+  for (int v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(l.layer[v], d[v]);
+  EXPECT_EQ(l.num_layers, 7);  // distances 0..6
+  std::size_t total = 0;
+  for (const auto& m : l.members) total += m.size();
+  EXPECT_EQ(total, 49u);
+}
+
+TEST(Layering, DepthCapLeavesRemainder) {
+  const Graph g = path_graph(10);
+  const Layering l = build_layers(g, {0}, 3);
+  EXPECT_EQ(l.num_layers, 4);
+  EXPECT_EQ(l.layer[3], 3);
+  EXPECT_EQ(l.layer[4], kNoLayer);
+}
+
+TEST(Layering, RestrictedBfsBlocksDisallowed) {
+  const Graph g = path_graph(7);
+  std::vector<bool> allowed(7, true);
+  allowed[4] = false;
+  const Layering l = build_layers_restricted(g, {2}, -1, allowed);
+  EXPECT_EQ(l.layer[3], 1);
+  EXPECT_EQ(l.layer[4], kNoLayer);
+  EXPECT_EQ(l.layer[5], kNoLayer);  // cut off behind 4
+  EXPECT_EQ(l.layer[0], 2);
+}
+
+TEST(Layering, MultipleBaseVertices) {
+  const Graph g = path_graph(9);
+  const Layering l = build_layers(g, {0, 8}, -1);
+  EXPECT_EQ(l.layer[4], 4);
+  EXPECT_EQ(l.layer[6], 2);
+  EXPECT_EQ(l.members[0].size(), 2u);
+}
+
+class LayerColoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerColoringTest, ReverseColoringLeavesOnlyBaseUncolored) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph g = random_regular(300, 4, rng);
+  RoundLedger tmp;
+  const auto lin = linial_coloring(g, tmp);
+  // Base = a couple of scattered vertices.
+  const std::vector<int> base{0, 100, 200};
+  const Layering l = build_layers(g, base, -1);
+  Coloring c(300, kUncolored);
+  RoundLedger ledger;
+  Rng rng2(17);
+  color_layers_in_reverse(g, l, 4, lin.coloring, lin.num_colors,
+                          ListEngine::kDeterministic, &rng2, c, ledger, "t");
+  // Everything except (at most) the base is colored, properly.
+  EXPECT_TRUE(is_proper_partial(g, c));
+  for (int v = 0; v < 300; ++v) {
+    if (l.layer[v] >= 1) EXPECT_NE(c[v], kUncolored) << v;
+  }
+  for (int v : base) EXPECT_EQ(c[v], kUncolored);
+  EXPECT_GT(ledger.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayerColoringTest, ::testing::Values(1, 2, 3));
+
+TEST(LayerColoring, RandomizedEngineToo) {
+  Rng rng(4);
+  const Graph g = random_regular(200, 4, rng);
+  RoundLedger tmp;
+  const auto lin = linial_coloring(g, tmp);
+  const Layering l = build_layers(g, {0}, -1);
+  Coloring c(200, kUncolored);
+  RoundLedger ledger;
+  Rng rng2(5);
+  color_layers_in_reverse(g, l, 4, lin.coloring, lin.num_colors,
+                          ListEngine::kRandomized, &rng2, c, ledger, "t");
+  EXPECT_TRUE(is_proper_partial(g, c));
+  EXPECT_EQ(count_uncolored(c), 1);  // just the base vertex
+}
+
+TEST(LayerColoring, VertexSetInstanceSkipsColored) {
+  const Graph g = cycle_graph(6);
+  RoundLedger tmp;
+  const auto lin = linial_coloring(g, tmp);
+  Coloring c(6, kUncolored);
+  c[0] = 0;
+  RoundLedger ledger;
+  color_vertex_set_as_list_instance(g, {0, 1, 2, 3, 4, 5}, 3, lin.coloring,
+                                    lin.num_colors, ListEngine::kDeterministic,
+                                    nullptr, c, ledger, "t");
+  EXPECT_EQ(c[0], 0);
+  EXPECT_TRUE(is_proper_complete(g, c));
+}
+
+}  // namespace
+}  // namespace deltacol

@@ -1,0 +1,114 @@
+// Linial's O(Delta^2) coloring: correctness, palette size, round count.
+#include <gtest/gtest.h>
+
+#include "coloring/linial.h"
+#include "graph/generators.h"
+#include "local/round_ledger.h"
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+class LinialTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LinialTest, ProperSmallPaletteFewRounds) {
+  const auto [n, d] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n + d));
+  const Graph g = random_regular(n, d, rng);
+  RoundLedger ledger;
+  const LinialResult res = linial_coloring(g, ledger);
+  EXPECT_TRUE(is_proper_with_palette(g, res.coloring, res.num_colors));
+  // Fixpoint palette is (next_prime(~2 Delta))^2 = O(Delta^2).
+  EXPECT_LE(res.num_colors, 25 * (d + 1) * (d + 1));
+  // O(log* n) rounds: generous absolute cap.
+  EXPECT_LE(res.rounds, 8);
+  EXPECT_EQ(ledger.total(), res.rounds);
+  EXPECT_EQ(ledger.phase_total("linial"), res.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinialTest,
+    ::testing::Combine(::testing::Values(32, 256, 2048),
+                       ::testing::Values(3, 4, 8)));
+
+TEST(Linial, WorksOnPathAndCycle) {
+  for (const Graph& g : {path_graph(100), cycle_graph(101)}) {
+    RoundLedger ledger;
+    const LinialResult res = linial_coloring(g, ledger);
+    EXPECT_TRUE(is_proper_with_palette(g, res.coloring, res.num_colors));
+    EXPECT_LE(res.num_colors, 49);  // O(Delta^2) with Delta = 2
+  }
+}
+
+TEST(Linial, LargeDegreeSmallGraph) {
+  const Graph g = complete_bipartite(10, 10);
+  RoundLedger ledger;
+  const LinialResult res = linial_coloring(g, ledger);
+  EXPECT_TRUE(is_proper_with_palette(g, res.coloring, res.num_colors));
+}
+
+TEST(Linial, DeterministicAcrossRuns) {
+  Rng rng(5);
+  const Graph g = random_regular(128, 4, rng);
+  RoundLedger l1, l2;
+  const auto a = linial_coloring(g, l1);
+  const auto b = linial_coloring(g, l2);
+  EXPECT_EQ(a.coloring, b.coloring);
+  EXPECT_EQ(a.num_colors, b.num_colors);
+}
+
+TEST(ColorReduction, ReducesToDeltaPlusOne) {
+  Rng rng(77);
+  const Graph g = random_regular(512, 4, rng);
+  RoundLedger ledger;
+  const auto lin = linial_coloring(g, ledger);
+  const auto red =
+      reduce_to_delta_plus_one(g, lin.coloring, lin.num_colors, ledger);
+  EXPECT_EQ(red.num_colors, 5);
+  EXPECT_TRUE(is_proper_with_palette(g, red.coloring, 5));
+  // One round per eliminated class.
+  EXPECT_EQ(ledger.phase_total("color-reduction"), lin.num_colors - 5);
+}
+
+TEST(ColorReduction, NoopWhenAlreadySmall) {
+  const Graph g = cycle_graph(6);
+  const Coloring c{0, 1, 0, 1, 0, 1};
+  RoundLedger ledger;
+  const auto red = reduce_to_delta_plus_one(g, c, 2, ledger);
+  EXPECT_EQ(red.coloring, c);
+  EXPECT_EQ(ledger.total(), 0);
+}
+
+TEST(ColorReduction, RejectsImproperInput) {
+  const Graph g = path_graph(3);
+  RoundLedger ledger;
+  EXPECT_THROW(reduce_to_delta_plus_one(g, {0, 0, 1}, 2, ledger),
+               ContractViolation);
+}
+
+TEST(ColorReduction, ScheduleHelperEndToEnd) {
+  Rng rng(78);
+  const Graph g = random_regular(1024, 6, rng);
+  RoundLedger ledger;
+  const auto sched = delta_plus_one_schedule(g, ledger);
+  EXPECT_EQ(sched.num_colors, 7);
+  EXPECT_TRUE(is_proper_with_palette(g, sched.coloring, 7));
+  EXPECT_EQ(ledger.total(), sched.rounds);
+}
+
+TEST(Linial, RoundsGrowSlowlyWithN) {
+  // log*-type growth: going from 2^6 to 2^16 vertices should add at most a
+  // couple of rounds.
+  Rng rng(9);
+  const Graph small = random_regular(64, 4, rng);
+  const Graph big = random_regular(65536, 4, rng);
+  RoundLedger ls, lb;
+  const auto rs = linial_coloring(small, ls);
+  const auto rb = linial_coloring(big, lb);
+  EXPECT_LE(rb.rounds, rs.rounds + 3);
+}
+
+}  // namespace
+}  // namespace deltacol
