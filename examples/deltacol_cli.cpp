@@ -20,19 +20,23 @@ using namespace deltacol;
 
 namespace {
 
-void usage() {
-  std::cerr << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
-               " [--seed S] [--paper-constants] [--dot out.dot]\n";
+void usage(std::ostream& out) {
+  out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
+         " [--seed S] [--paper-constants] [--dot out.dot]\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(std::cerr);
     return 2;
   }
   const std::string path = argv[1];
+  if (path == "--help" || path == "-h") {
+    usage(std::cout);
+    return 0;
+  }
   Algorithm alg = Algorithm::kRandomizedSmall;
   DeltaColoringOptions opt;
   std::string dot_path;
@@ -46,7 +50,7 @@ int main(int argc, char** argv) {
       else if (v == "ps") alg = Algorithm::kBaselineND;
       else if (v == "naive") alg = Algorithm::kBaselineGreedyBrooks;
       else {
-        usage();
+        usage(std::cerr);
         return 2;
       }
     } else if (a == "--seed" && i + 1 < argc) {
@@ -56,7 +60,7 @@ int main(int argc, char** argv) {
     } else if (a == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
     } else {
-      usage();
+      usage(std::cerr);
       return 2;
     }
   }

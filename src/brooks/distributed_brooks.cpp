@@ -182,16 +182,16 @@ BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
         dcc_of[static_cast<std::size_t>(token_local)])];
     std::vector<int> block_parent;
     block_parent.reserve(block.size());
-    for (int x : block) {
-      block_parent.push_back(ball_sub.to_parent[static_cast<std::size_t>(x)]);
+    for (int v : block) {
+      block_parent.push_back(ball_sub.to_parent[static_cast<std::size_t>(v)]);
     }
     for (int p : block_parent) c[static_cast<std::size_t>(p)] = kUncolored;
     const auto comp = induced_subgraph(g, block_parent);
     ListAssignment lists(static_cast<std::size_t>(comp.graph.num_vertices()));
     for (int i = 0; i < comp.graph.num_vertices(); ++i) {
       const int p = comp.to_parent[static_cast<std::size_t>(i)];
-      for (Color x : free_colors(g, c, p, delta)) {
-        lists[static_cast<std::size_t>(i)].push_back(x);
+      for (Color col : free_colors(g, c, p, delta)) {
+        lists[static_cast<std::size_t>(i)].push_back(col);
       }
     }
     const auto colored = degree_choosable_coloring(comp.graph, lists);

@@ -1,23 +1,24 @@
-// Public facade of the library: distributed Delta-coloring.
-//
-// Implements the paper's algorithms:
-//   * kDeterministic        — Theorem 4: ruling set + layering + distributed
-//                             Brooks for the base layer.
-//   * kRandomizedLarge      — Theorem 3 (Delta >= 4): DCC removal, marking /
-//                             T-nodes, shattering, small components, layered
-//                             unwind (Phases (1)-(9)).
-//   * kRandomizedSmall      — Theorem 1 (Delta >= 3, constant): backoff 12,
-//                             r = Theta(log log n).
-//   * kBaselineND           — Theorem 21 = [PS95] baseline: network-
-//                             decomposition-scheduled layering.
-//   * kBaselineGreedyBrooks — natural baseline: distributed (Delta+1)-
-//                             coloring, then repair the overflow color class
-//                             with scheduled Brooks fixes.
-//
-// All algorithms return a proper coloring with Delta = max degree colors and
-// a per-phase round ledger. Non-nice components (cliques of size <= Delta,
-// cycles, paths, components of smaller max degree) are handled by a direct
-// (deg+1)-list instance, exactly as a deployment would.
+/// \file
+/// Public facade of the library: distributed Delta-coloring.
+///
+/// Implements the paper's algorithms:
+///   * kDeterministic        — Theorem 4: ruling set + layering + distributed
+///                             Brooks for the base layer.
+///   * kRandomizedLarge      — Theorem 3 (Delta >= 4): DCC removal, marking /
+///                             T-nodes, shattering, small components, layered
+///                             unwind (Phases (1)-(9)).
+///   * kRandomizedSmall      — Theorem 1 (Delta >= 3, constant): backoff 12,
+///                             r = Theta(log log n).
+///   * kBaselineND           — Theorem 21 = [PS95] baseline: network-
+///                             decomposition-scheduled layering.
+///   * kBaselineGreedyBrooks — natural baseline: distributed (Delta+1)-
+///                             coloring, then repair the overflow color class
+///                             with scheduled Brooks fixes.
+///
+/// All algorithms return a proper coloring with Delta = max degree colors and
+/// a per-phase round ledger. Non-nice components (cliques of size <= Delta,
+/// cycles, paths, components of smaller max degree) are handled by a direct
+/// (deg+1)-list instance, exactly as a deployment would.
 #pragma once
 
 #include <cstdint>
@@ -30,74 +31,91 @@
 
 namespace deltacol {
 
+/// Selects which of the paper's algorithms (or baselines) delta_color runs.
 enum class Algorithm {
-  kDeterministic,
-  kRandomizedLarge,
-  kRandomizedSmall,
-  kBaselineND,
-  kBaselineGreedyBrooks,
+  kDeterministic,         ///< Theorem 4: deterministic via ruling sets.
+  kRandomizedLarge,       ///< Theorem 3: randomized, requires Delta >= 4.
+  kRandomizedSmall,       ///< Theorem 1: randomized, tuned for constant Delta.
+  kBaselineND,            ///< Theorem 21 = [PS95] network-decomposition baseline.
+  kBaselineGreedyBrooks,  ///< (Delta+1)-color greedily, repair overflow class.
 };
 
+/// Short stable identifier for \p a (used in logs, benches, CSV output).
 std::string algorithm_name(Algorithm a);
 
+/// Tuning knobs for delta_color. The defaults reproduce the paper's behaviour
+/// at laptop scale; every field is safe to leave untouched.
 struct DeltaColoringOptions {
+  /// Master seed for all randomness in the run (runs are reproducible).
   std::uint64_t seed = 1;
 
-  // Phase (1) DCC-detection radius r for the large-Delta variant; the small
-  // variant derives r = Theta(log log n) from n (clamped to
-  // small_variant_radius_cap to keep ball sizes laptop-sized).
+  /// Phase (1) DCC-detection radius r for the large-Delta variant; the small
+  /// variant derives r = Theta(log log n) from n (clamped to
+  /// small_variant_radius_cap to keep ball sizes laptop-sized).
   int dcc_radius = 2;
   int small_variant_radius_cap = 6;
 
-  // Marking-process parameters. backoff < 0 means the paper's default (6
-  // large / 12 small). selection_prob < 0 means auto: the paper's
-  // Delta^{-6} is asymptotically correct but vanishes at laptop scale, so
-  // auto picks max(Delta^{-6}, 1/(8*Delta)); every node left unhappy is
-  // handled by the (always correct) later phases either way. Set
-  // use_paper_constants to force p = Delta^{-6}.
+  /// Marking-process parameters. backoff < 0 means the paper's default (6
+  /// large / 12 small). selection_prob < 0 means auto: the paper's
+  /// Delta^{-6} is asymptotically correct but vanishes at laptop scale, so
+  /// auto picks max(Delta^{-6}, 1/(8*Delta)); every node left unhappy is
+  /// handled by the (always correct) later phases either way. Set
+  /// use_paper_constants to force p = Delta^{-6}.
   int backoff = -1;
   double selection_prob = -1.0;
   bool use_paper_constants = false;
 
-  // Engine for the per-layer (deg+1)-list instances.
+  /// Engine for the per-layer (deg+1)-list instances.
   ListEngine list_engine = ListEngine::kDeterministic;
 
-  // Strict mode disables all repair fallbacks (tests use this to verify the
-  // paper path); violations then throw ContractViolation.
+  /// Strict mode disables all repair fallbacks (tests use this to verify the
+  /// paper path); violations then throw ContractViolation.
   bool strict = false;
 
-  // Full-run retries with fresh randomness if a randomized run throws.
+  /// Full-run retries with fresh randomness if a randomized run throws.
   int max_retries = 2;
 };
 
+/// Per-phase observability of one delta_color run: how much work each phase
+/// of the paper's pipeline did. Fields are 0 for phases the chosen algorithm
+/// does not execute.
 struct PhaseStats {
-  int num_dccs_selected = 0;       // Phase (1)
-  int base_layer_size = 0;         // |B0|
-  int num_b_layers = 0;            // s
-  int num_selected = 0;            // Phase (4), after backoff
-  int num_tnodes = 0;              // surviving T-nodes after Phase (5)
-  int num_marked = 0;              // marked (color-1) vertices kept
+  int num_dccs_selected = 0;       ///< Phase (1)
+  int base_layer_size = 0;         ///< |B0|
+  int num_b_layers = 0;            ///< s
+  int num_selected = 0;            ///< Phase (4), after backoff
+  int num_tnodes = 0;              ///< surviving T-nodes after Phase (5)
+  int num_marked = 0;              ///< marked (color-1) vertices kept
   int num_c_layers = 0;
-  int h_vertices = 0;              // |H| = remainder after Phase (3)
-  int happy_vertices = 0;          // vertices absorbed into C-layers
-  int leftover_vertices = 0;       // |L| entering Phase (6)
+  int h_vertices = 0;              ///< |H| = remainder after Phase (3)
+  int happy_vertices = 0;          ///< vertices absorbed into C-layers
+  int leftover_vertices = 0;       ///< |L| entering Phase (6)
   int leftover_components = 0;
   int max_leftover_component = 0;
-  int anchors_empty_fallbacks = 0; // Phase (6) fallback path uses
-  int brooks_fixes = 0;            // distributed Brooks invocations
-  int repairs = 0;                 // emergency repair completions
+  int anchors_empty_fallbacks = 0; ///< Phase (6) fallback path uses
+  int brooks_fixes = 0;            ///< distributed Brooks invocations
+  int repairs = 0;                 ///< emergency repair completions
   int retries_used = 0;
 };
 
+/// Everything delta_color produces: the coloring itself plus the round
+/// ledger and phase statistics needed to reproduce the paper's experiments.
 struct DeltaColoringResult {
-  Coloring coloring;
-  int delta = 0;
-  RoundLedger ledger;
-  PhaseStats stats;
+  Coloring coloring;  ///< Proper coloring with colors in {0..delta-1}.
+  int delta = 0;      ///< Palette size = max degree of the input graph.
+  RoundLedger ledger; ///< LOCAL-model rounds charged, broken down by phase.
+  PhaseStats stats;   ///< Per-phase work counters.
 };
 
-// Delta-colors g with Delta = g.max_degree() colors. Requires Delta >= 3
-// (>= 4 for kRandomizedLarge) and that no component is a (Delta+1)-clique.
+/// Delta-colors \p g with Delta = g.max_degree() colors.
+///
+/// \param g    Input graph. Requires Delta >= 3 (>= 4 for kRandomizedLarge)
+///             and that no component is a (Delta+1)-clique (Brooks'
+///             condition); otherwise throws ContractViolation.
+/// \param alg  Which algorithm/baseline to run.
+/// \param opt  Tuning knobs; the defaults are fine for most uses.
+/// \return A validated proper Delta-coloring plus its round ledger and
+///         phase statistics.
 DeltaColoringResult delta_color(const Graph& g, Algorithm alg,
                                 const DeltaColoringOptions& opt = {});
 

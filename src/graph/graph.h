@@ -1,9 +1,10 @@
-// Immutable simple undirected graph in CSR (compressed sparse row) layout.
-//
-// Vertices are dense integers [0, n). Adjacency lists are sorted, which makes
-// has_edge O(log deg) and set operations over neighborhoods cheap. Graphs in
-// this library are values: algorithms never mutate a Graph, they build new
-// ones (e.g. induced subgraphs) via GraphBuilder.
+/// \file
+/// Immutable simple undirected graph in CSR (compressed sparse row) layout.
+///
+/// Vertices are dense integers [0, n). Adjacency lists are sorted, which makes
+/// has_edge O(log deg) and set operations over neighborhoods cheap. Graphs in
+/// this library are values: algorithms never mutate a Graph, they build new
+/// ones (e.g. induced subgraphs) via GraphBuilder.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +14,16 @@
 
 namespace deltacol {
 
+/// An undirected edge; orientation is irrelevant (normalized on build).
 using Edge = std::pair<int, int>;
 
+/// Immutable simple undirected graph over vertices {0, ..., n-1}.
 class Graph {
  public:
   Graph() = default;
 
-  // Builds a graph from an edge list. Self-loops are rejected; duplicate
-  // edges (in either orientation) are merged.
+  /// Builds a graph from an edge list. Self-loops are rejected (throws via
+  /// DC_REQUIRE); duplicate edges (in either orientation) are merged.
   static Graph from_edges(int n, std::span<const Edge> edges);
   static Graph from_edges(int n, const std::vector<Edge>& edges) {
     return from_edges(n, std::span<const Edge>(edges));
@@ -31,18 +34,21 @@ class Graph {
 
   int degree(int v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  /// Sorted neighbors of \p v as a zero-copy view into the CSR arrays;
+  /// valid for the lifetime of this Graph.
   std::span<const int> neighbors(int v) const {
     return {adj_.data() + offsets_[v],
             static_cast<std::size_t>(degree(v))};
   }
 
+  /// O(log deg(u)) adjacency test.
   bool has_edge(int u, int v) const;
 
-  // Maximum degree Delta(G); 0 for the empty graph.
+  /// Maximum degree Delta(G); 0 for the empty graph.
   int max_degree() const { return max_degree_; }
   int min_degree() const { return min_degree_; }
 
-  // All edges with u < v, in sorted order.
+  /// All edges with u < v, in sorted order.
   std::vector<Edge> edge_list() const;
 
  private:
@@ -52,16 +58,21 @@ class Graph {
   int min_degree_ = 0;
 };
 
-// Incremental construction helper; tolerates duplicate add_edge calls.
+/// Incremental construction helper; tolerates duplicate add_edge calls.
 class GraphBuilder {
  public:
   explicit GraphBuilder(int n) : n_(n) {}
 
+  /// Records the undirected edge {u, v}; rejects self-loops and
+  /// out-of-range endpoints. Duplicates are merged at build().
   void add_edge(int u, int v);
+  /// Linear scan over recorded edges (builder-side convenience; use
+  /// Graph::has_edge after build() for the O(log deg) version).
   bool has_edge(int u, int v) const;
   int num_vertices() const { return n_; }
   const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Materializes the immutable CSR Graph.
   Graph build() const { return Graph::from_edges(n_, edges_); }
 
  private:

@@ -1,18 +1,19 @@
-// Round accounting for the LOCAL model.
-//
-// Every algorithm in this library runs against a RoundLedger and charges the
-// number of synchronous communication rounds each step would take on a real
-// network. Two execution styles feed the same ledger:
-//
-//  1. Message-passing style (SyncEngine): each executed round charges 1.
-//  2. Neighborhood-gathering style: in the LOCAL model a t-round algorithm
-//     is exactly a function of each node's t-neighborhood, so a step
-//     implemented centrally as "every node inspects its r-ball and decides"
-//     charges r rounds (plus the rounds of any inner subroutine).
-//
-// The ledger keeps a per-phase breakdown so experiments can report where the
-// rounds went (e.g. how much of Theorem 3's cost is the list-coloring
-// substitution discussed in DESIGN.md).
+/// \file
+/// Round accounting for the LOCAL model.
+///
+/// Every algorithm in this library runs against a RoundLedger and charges the
+/// number of synchronous communication rounds each step would take on a real
+/// network. Two execution styles feed the same ledger:
+///
+///  1. Message-passing style (SyncEngine): each executed round charges 1.
+///  2. Neighborhood-gathering style: in the LOCAL model a t-round algorithm
+///     is exactly a function of each node's t-neighborhood, so a step
+///     implemented centrally as "every node inspects its r-ball and decides"
+///     charges r rounds (plus the rounds of any inner subroutine).
+///
+/// The ledger keeps a per-phase breakdown so experiments can report where the
+/// rounds went (e.g. how much of Theorem 3's cost is the list-coloring
+/// substitution discussed in DESIGN.md).
 #pragma once
 
 #include <cstdint>
@@ -22,30 +23,36 @@
 
 namespace deltacol {
 
+/// Accumulates LOCAL-model communication rounds, tagged by algorithm phase.
+/// This is the library's cost model: results are compared by ledger totals,
+/// never by wall-clock time.
 class RoundLedger {
  public:
-  // Charge `rounds` communication rounds to the named phase.
+  /// Charge \p rounds communication rounds to the named phase.
   void charge(std::int64_t rounds, std::string_view phase);
 
+  /// Total rounds charged so far, across all phases.
   std::int64_t total() const { return total_; }
 
-  // Phase totals, in first-charge order.
+  /// One phase's accumulated cost. Phases appear in first-charge order.
   struct PhaseTotal {
     std::string phase;
     std::int64_t rounds;
   };
   const std::vector<PhaseTotal>& breakdown() const { return phases_; }
 
+  /// Rounds charged to \p phase (0 if the phase never charged).
   std::int64_t phase_total(std::string_view phase) const;
 
-  // Merge another ledger into this one (used when a subroutine ran with its
-  // own ledger, e.g. recursive calls on components; components run in
-  // parallel, so the caller usually charges child.max_parallel() instead).
+  /// Merge another ledger into this one (used when a subroutine ran with its
+  /// own ledger, e.g. recursive calls on components; components run in
+  /// parallel, so the caller usually charges child.max_parallel() instead).
   void merge(const RoundLedger& child);
 
-  // Human-readable multi-line report.
+  /// Human-readable multi-line report.
   std::string report() const;
 
+  /// Drops all charges; the ledger is as if freshly constructed.
   void reset();
 
  private:

@@ -66,7 +66,9 @@ TEST_P(LayerColoringTest, ReverseColoringLeavesOnlyBaseUncolored) {
   // Everything except (at most) the base is colored, properly.
   EXPECT_TRUE(is_proper_partial(g, c));
   for (int v = 0; v < 300; ++v) {
-    if (l.layer[v] >= 1) EXPECT_NE(c[v], kUncolored) << v;
+    if (l.layer[v] >= 1) {
+      EXPECT_NE(c[v], kUncolored) << v;
+    }
   }
   for (int v : base) EXPECT_EQ(c[v], kUncolored);
   EXPECT_GT(ledger.total(), 0);
