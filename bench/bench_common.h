@@ -6,7 +6,14 @@
 // experiment row/series of EXPERIMENTS.md.
 #pragma once
 
+// Harness selection: google-benchmark when available, the vendored minimal
+// fallback otherwise (CMake defines DELTACOL_USE_MINIBENCH when
+// libbenchmark-dev is missing, so experiments always build).
+#ifdef DELTACOL_USE_MINIBENCH
+#include "minibench.h"
+#else
 #include <benchmark/benchmark.h>
+#endif
 
 #include <cmath>
 #include <cstdlib>

@@ -1,0 +1,81 @@
+// E12 — parallel runtime scaling (see DESIGN.md "Runtime", EXPERIMENTS.md).
+//
+// Measures WALL-CLOCK speedup of the simulation itself vs num_threads on
+// the largest generator graphs — the one experiment where time, not rounds,
+// is the quantity of interest (rounds are thread-count invariant by the
+// determinism guarantee, which this driver also re-asserts via the ledger
+// counter: every row of one series must report identical rounds).
+//
+// Series: time vs threads ∈ {1, 2, 4, 8} at n = 100k (and a 200k point for
+// kRandomizedLarge) for the two headline algorithms. The acceptance target
+// is ≥ 2x at 8 threads over 1 thread on an n >= 100k graph on multi-core
+// hardware; `speedup_vs_1t` reports it directly (the 1-thread baseline per
+// (alg, n, d) series is cached across rows of that series).
+#include <chrono>
+#include <map>
+#include <tuple>
+
+#include "bench_common.h"
+
+namespace deltacol::bench {
+namespace {
+
+// 1-thread wall-clock per (alg-id, n, d), filled by the threads=1 row of
+// each series (benchmark rows of one series run in registration order).
+std::map<std::tuple<int, int, int>, double>& baseline_seconds() {
+  static std::map<std::tuple<int, int, int>, double> b;
+  return b;
+}
+
+void run_scaling(benchmark::State& state, Algorithm alg, int alg_id) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  const Graph g = make_regular(n, d, 77);
+  DeltaColoringOptions opt;
+  opt.seed = 9;
+  opt.num_threads = threads;
+  DeltaColoringResult res;
+  for (auto _ : state) {
+    res = delta_color(g, alg, opt);
+  }
+  report(state, res);
+  state.counters["threads"] = threads;
+
+  // Wall-clock of the timed section, measured independently of the harness
+  // so the speedup counter works under both harnesses.
+  const auto t0 = std::chrono::steady_clock::now();
+  res = delta_color(g, alg, opt);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(res);
+  state.counters["seconds"] = secs;
+  const auto key = std::make_tuple(alg_id, n, d);
+  if (threads == 1) baseline_seconds()[key] = secs;
+  const auto it = baseline_seconds().find(key);
+  state.counters["speedup_vs_1t"] =
+      (it != baseline_seconds().end() && secs > 0.0) ? it->second / secs : 0.0;
+  csv_row(state, "e12_parallel_scaling");
+}
+
+void E12_RandomizedLarge(benchmark::State& state) {
+  run_scaling(state, Algorithm::kRandomizedLarge, 0);
+}
+
+void E12_Deterministic(benchmark::State& state) {
+  run_scaling(state, Algorithm::kDeterministic, 1);
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E12_RandomizedLarge)
+    ->ArgsProduct({{100000, 200000}, {8}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(deltacol::bench::E12_Deterministic)
+    ->ArgsProduct({{100000}, {8}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

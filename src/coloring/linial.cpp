@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -56,7 +57,8 @@ Params choose_params(std::uint64_t m, int delta) {
 
 }  // namespace
 
-LinialResult linial_coloring(const Graph& g, RoundLedger& ledger) {
+LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
+                             ThreadPool* pool) {
   const int n = g.num_vertices();
   const int delta = std::max(1, g.max_degree());
   LinialResult res;
@@ -69,9 +71,10 @@ LinialResult linial_coloring(const Graph& g, RoundLedger& ledger) {
     const std::uint64_t new_m = p.q * p.q;
     if (new_m >= m) break;  // reached the O(Delta^2) fixpoint
     // One synchronous round: nodes exchange current colors, then each picks
-    // an evaluation point avoiding all neighbors' polynomials.
+    // an evaluation point avoiding all neighbors' polynomials. Each node
+    // reads the previous coloring and writes next[v]: a parallel-for.
     Coloring next(static_cast<std::size_t>(n), kUncolored);
-    for (int v = 0; v < n; ++v) {
+    pooled_for(pool, 0, n, [&](int v) {
       const std::uint64_t cv =
           static_cast<std::uint64_t>(res.coloring[static_cast<std::size_t>(v)]);
       int chosen_x = -1;
@@ -95,7 +98,7 @@ LinialResult linial_coloring(const Graph& g, RoundLedger& ledger) {
           static_cast<std::uint64_t>(chosen_x) * p.q +
           static_cast<std::uint64_t>(
               eval_poly(cv, p.q, p.d, static_cast<std::uint64_t>(chosen_x))));
-    }
+    });
     res.coloring = std::move(next);
     m = new_m;
     ++res.rounds;
@@ -108,22 +111,39 @@ LinialResult linial_coloring(const Graph& g, RoundLedger& ledger) {
 }
 
 LinialResult reduce_to_delta_plus_one(const Graph& g, const Coloring& start,
-                                      int start_colors, RoundLedger& ledger) {
+                                      int start_colors, RoundLedger& ledger,
+                                      ThreadPool* pool) {
   DC_REQUIRE(is_proper_with_palette(g, start, start_colors),
              "reduction input must be a proper coloring");
   const int target = g.max_degree() + 1;
   LinialResult res;
   res.coloring = start;
   res.num_colors = std::max(target, start_colors);
+  // Bucket the to-be-recolored classes once: members leave their class for a
+  // color < target and never re-enter, so the buckets stay valid across
+  // rounds (and the sweep is O(n + m) total instead of O(n) per class).
+  std::vector<std::vector<int>> members;
+  if (start_colors > target) {
+    members.resize(static_cast<std::size_t>(start_colors - target));
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      const int c = res.coloring[static_cast<std::size_t>(v)];
+      if (c >= target) {
+        members[static_cast<std::size_t>(c - target)].push_back(v);
+      }
+    }
+  }
   for (int c = start_colors - 1; c >= target; --c) {
     // Color class c is an independent set: all its members recolor
-    // simultaneously to their smallest free color below c.
-    for (int v = 0; v < g.num_vertices(); ++v) {
-      if (res.coloring[static_cast<std::size_t>(v)] != c) continue;
+    // simultaneously to their smallest free color below c. No neighbor of a
+    // class-c member is in class c, so the reads are stable under the
+    // parallel-for.
+    const auto& cls = members[static_cast<std::size_t>(c - target)];
+    pooled_for(pool, 0, static_cast<int>(cls.size()), [&](int i) {
+      const int v = cls[static_cast<std::size_t>(i)];
       const auto x = first_free_color(g, res.coloring, v, target);
       DC_ENSURE(x.has_value(), "no free color among Delta+1");
       res.coloring[static_cast<std::size_t>(v)] = *x;
-    }
+    });
     ++res.rounds;
     ledger.charge(1, "color-reduction");
   }
@@ -133,10 +153,11 @@ LinialResult reduce_to_delta_plus_one(const Graph& g, const Coloring& start,
   return res;
 }
 
-LinialResult delta_plus_one_schedule(const Graph& g, RoundLedger& ledger) {
-  const LinialResult lin = linial_coloring(g, ledger);
+LinialResult delta_plus_one_schedule(const Graph& g, RoundLedger& ledger,
+                                     ThreadPool* pool) {
+  const LinialResult lin = linial_coloring(g, ledger, pool);
   LinialResult red =
-      reduce_to_delta_plus_one(g, lin.coloring, lin.num_colors, ledger);
+      reduce_to_delta_plus_one(g, lin.coloring, lin.num_colors, ledger, pool);
   red.rounds += lin.rounds;
   return red;
 }

@@ -19,6 +19,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 struct LinialResult {
   Coloring coloring;
   int num_colors = 0;  // palette size actually guaranteed (q^2 of last step)
@@ -27,7 +29,8 @@ struct LinialResult {
 
 // Computes a proper coloring with O(Delta^2) colors. IDs are the vertex
 // indices (the LOCAL model's unique identifiers).
-LinialResult linial_coloring(const Graph& g, RoundLedger& ledger);
+LinialResult linial_coloring(const Graph& g, RoundLedger& ledger,
+                             ThreadPool* pool = nullptr);
 
 // Standard one-color-per-round reduction: from a proper m-coloring to a
 // proper (Delta+1)-coloring in m - (Delta+1) rounds (each round the highest
@@ -35,9 +38,11 @@ LinialResult linial_coloring(const Graph& g, RoundLedger& ledger);
 // Computing this once makes every later schedule sweep cost Delta+1 rounds
 // instead of O(Delta^2).
 LinialResult reduce_to_delta_plus_one(const Graph& g, const Coloring& start,
-                                      int start_colors, RoundLedger& ledger);
+                                      int start_colors, RoundLedger& ledger,
+                                      ThreadPool* pool = nullptr);
 
 // Convenience: Linial + reduction.
-LinialResult delta_plus_one_schedule(const Graph& g, RoundLedger& ledger);
+LinialResult delta_plus_one_schedule(const Graph& g, RoundLedger& ledger,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace deltacol

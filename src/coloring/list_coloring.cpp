@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -41,7 +42,7 @@ Color first_feasible(const Graph& g, const ListAssignment& lists,
 void det_list_coloring(const Graph& g, const ListAssignment& lists,
                        const Coloring& schedule, int num_schedule_colors,
                        Coloring& out, RoundLedger& ledger,
-                       std::string_view phase) {
+                       std::string_view phase, ThreadPool* pool) {
   DC_REQUIRE(static_cast<int>(out.size()) == g.num_vertices(),
              "output coloring size mismatch");
   DC_REQUIRE(is_proper_with_palette(g, schedule, num_schedule_colors),
@@ -60,14 +61,18 @@ void det_list_coloring(const Graph& g, const ListAssignment& lists,
   }
   for (int s = 0; s < num_schedule_colors; ++s) {
     // All vertices of schedule class s choose simultaneously; the class is
-    // an independent set, so their choices cannot conflict.
-    for (int v : buckets[static_cast<std::size_t>(s)]) {
+    // an independent set, so their choices cannot conflict — and no member
+    // reads a slot another member writes, so the class sweep is a
+    // parallel-for.
+    const auto& bucket = buckets[static_cast<std::size_t>(s)];
+    pooled_for(pool, 0, static_cast<int>(bucket.size()), [&](int i) {
+      const int v = bucket[static_cast<std::size_t>(i)];
       const Color x = first_feasible(g, lists, out, v);
       DC_ENSURE(x != kUncolored,
                 "det_list_coloring: vertex ran out of list colors (instance "
                 "violated the deg+1 precondition)");
       out[static_cast<std::size_t>(v)] = x;
-    }
+    });
     ledger.charge(1, phase);
   }
 }
@@ -75,7 +80,7 @@ void det_list_coloring(const Graph& g, const ListAssignment& lists,
 void rand_list_coloring(const Graph& g, const ListAssignment& lists,
                         const Coloring& schedule, int num_schedule_colors,
                         Rng& rng, Coloring& out, RoundLedger& ledger,
-                        std::string_view phase) {
+                        std::string_view phase, ThreadPool* pool) {
   DC_REQUIRE(static_cast<int>(out.size()) == g.num_vertices(),
              "output coloring size mismatch");
   const int n = g.num_vertices();
@@ -86,10 +91,18 @@ void rand_list_coloring(const Graph& g, const ListAssignment& lists,
   const int max_rounds =
       4 * ceil_log2(static_cast<std::uint64_t>(std::max(2, n))) + 16;
   std::vector<Color> proposal(static_cast<std::size_t>(n), kUncolored);
+  std::vector<std::vector<Color>> feasible(active.size());
+  std::vector<char> clash(active.size());
   for (int round = 0; round < max_rounds && !active.empty(); ++round) {
-    // Propose.
-    for (int v : active) {
-      std::vector<Color> feasible;
+    const int num_active = static_cast<int>(active.size());
+    feasible.resize(active.size());
+    clash.resize(active.size());
+    // Feasible sets: the expensive part, and a pure function of `out` —
+    // computed in parallel.
+    pooled_for(pool, 0, num_active, [&](int i) {
+      const int v = active[static_cast<std::size_t>(i)];
+      auto& feas = feasible[static_cast<std::size_t>(i)];
+      feas.clear();
       for (Color x : lists[static_cast<std::size_t>(v)]) {
         bool ok = true;
         for (int u : g.neighbors(v)) {
@@ -98,33 +111,43 @@ void rand_list_coloring(const Graph& g, const ListAssignment& lists,
             break;
           }
         }
-        if (ok) feasible.push_back(x);
+        if (ok) feas.push_back(x);
       }
-      DC_ENSURE(!feasible.empty(),
+      DC_ENSURE(!feas.empty(),
                 "rand_list_coloring: empty feasible set (instance violated "
                 "the deg+1 precondition)");
-      proposal[static_cast<std::size_t>(v)] =
-          feasible[static_cast<std::size_t>(rng.next_below(feasible.size()))];
+    });
+    // Draws stay serial, in active order: the shared Rng stream (and hence
+    // the run) is identical for every thread count.
+    for (int i = 0; i < num_active; ++i) {
+      const auto& feas = feasible[static_cast<std::size_t>(i)];
+      proposal[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])] =
+          feas[static_cast<std::size_t>(rng.next_below(feas.size()))];
     }
     // Resolve: keep the proposal iff no competing neighbor chose it too.
-    std::vector<int> still_active;
-    for (int v : active) {
+    // Proposals are frozen, so the clash test is again a parallel-for.
+    pooled_for(pool, 0, num_active, [&](int i) {
+      const int v = active[static_cast<std::size_t>(i)];
       const Color mine = proposal[static_cast<std::size_t>(v)];
-      bool clash = false;
+      bool c = false;
       for (int u : g.neighbors(v)) {
         if (out[static_cast<std::size_t>(u)] == kUncolored &&
             proposal[static_cast<std::size_t>(u)] == mine) {
-          clash = true;
+          c = true;
           break;
         }
       }
-      if (clash) still_active.push_back(v);
-    }
-    for (int v : active) {
-      const bool kept =
-          std::find(still_active.begin(), still_active.end(), v) ==
-          still_active.end();
-      if (kept) out[static_cast<std::size_t>(v)] = proposal[static_cast<std::size_t>(v)];
+      clash[static_cast<std::size_t>(i)] = c ? 1 : 0;
+    });
+    std::vector<int> still_active;
+    for (int i = 0; i < num_active; ++i) {
+      const int v = active[static_cast<std::size_t>(i)];
+      if (clash[static_cast<std::size_t>(i)]) {
+        still_active.push_back(v);
+      } else {
+        out[static_cast<std::size_t>(v)] =
+            proposal[static_cast<std::size_t>(v)];
+      }
       proposal[static_cast<std::size_t>(v)] = kUncolored;
     }
     active = std::move(still_active);
@@ -134,7 +157,7 @@ void rand_list_coloring(const Graph& g, const ListAssignment& lists,
     // The w.h.p. bound did not materialize at this size/seed; finish
     // deterministically so the caller always gets a complete coloring.
     det_list_coloring(g, lists, schedule, num_schedule_colors, out, ledger,
-                      phase);
+                      phase, pool);
   }
 }
 

@@ -25,6 +25,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 // Checks |L(v)| >= deg_g(v) + 1 for all v (the instance precondition).
 bool lists_have_deg_plus_one(const Graph& g, const ListAssignment& lists);
 
@@ -34,7 +36,7 @@ bool lists_have_deg_plus_one(const Graph& g, const ListAssignment& lists);
 void det_list_coloring(const Graph& g, const ListAssignment& lists,
                        const Coloring& schedule, int num_schedule_colors,
                        Coloring& out, RoundLedger& ledger,
-                       std::string_view phase);
+                       std::string_view phase, ThreadPool* pool = nullptr);
 
 // Randomized variant. Falls back to the deterministic engine after
 // ~4 log2(n) + 16 unsuccessful rounds (the w.h.p. bound failed; the fallback
@@ -42,6 +44,6 @@ void det_list_coloring(const Graph& g, const ListAssignment& lists,
 void rand_list_coloring(const Graph& g, const ListAssignment& lists,
                         const Coloring& schedule, int num_schedule_colors,
                         Rng& rng, Coloring& out, RoundLedger& ledger,
-                        std::string_view phase);
+                        std::string_view phase, ThreadPool* pool = nullptr);
 
 }  // namespace deltacol

@@ -8,6 +8,8 @@
 #include "graph/components.h"
 #include "graph/ops.h"
 #include "graph/structure.h"
+#include "runtime/component_scheduler.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -31,7 +33,7 @@ using internal::ComponentContext;
 // caller retries randomized algorithms with fresh seeds).
 DeltaColoringResult attempt(const Graph& g, Algorithm alg,
                             const DeltaColoringOptions& opt,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, ThreadPool* pool) {
   const int n = g.num_vertices();
   const int delta = g.max_degree();
   DC_REQUIRE(n > 0, "empty graph");
@@ -55,7 +57,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
   // 3's O(log Delta) headstart over deterministic substrates comes from.
   LinialResult lin;
   if (opt.list_engine == ListEngine::kRandomized) {
-    const LinialResult raw = linial_coloring(g, res.ledger);
+    const LinialResult raw = linial_coloring(g, res.ledger, pool);
     ListAssignment lists(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
       for (Color x = 0; x <= delta; ++x) {
@@ -64,17 +66,29 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
     }
     lin.coloring.assign(static_cast<std::size_t>(n), kUncolored);
     rand_list_coloring(g, lists, raw.coloring, raw.num_colors, rng,
-                       lin.coloring, res.ledger, "schedule");
+                       lin.coloring, res.ledger, "schedule", pool);
     lin.num_colors = delta + 1;
   } else {
-    lin = delta_plus_one_schedule(g, res.ledger);
+    lin = delta_plus_one_schedule(g, res.ledger, pool);
   }
 
   // Components run in parallel in a real network: charge the maximum
-  // component cost on top of the shared Linial rounds.
+  // component cost on top of the shared Linial rounds. The scheduler makes
+  // the wall-clock execution match — components run concurrently — while
+  // every observable stays index-keyed: private RNG streams are pre-split
+  // here in component order, every job writes only its own ledger / stats /
+  // coloring slice, and the folds below run serially in component order.
   const auto comps = connected_components(g).vertex_sets();
-  RoundLedger max_component_ledger;
-  for (const auto& comp_vertices : comps) {
+  const int num_comps = static_cast<int>(comps.size());
+  std::vector<Rng> comp_rngs;
+  comp_rngs.reserve(comps.size());
+  for (int ci = 0; ci < num_comps; ++ci) comp_rngs.push_back(rng.split());
+  std::vector<RoundLedger> comp_ledgers(comps.size());
+  std::vector<PhaseStats> comp_stats(comps.size());
+
+  const ComponentScheduler scheduler(pool);
+  scheduler.run(num_comps, [&](int ci) {
+    const auto& comp_vertices = comps[static_cast<std::size_t>(ci)];
     const auto sub = induced_subgraph(g, comp_vertices);
     const Graph& comp = sub.graph;
     DC_REQUIRE(!(is_clique(comp) && comp.num_vertices() == delta + 1),
@@ -88,10 +102,13 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
               sub.to_parent[static_cast<std::size_t>(v)])];
     }
 
-    RoundLedger ledger;
-    Rng comp_rng = rng.split();
-    ComponentContext ctx{comp,   delta,    local_schedule, lin.num_colors,
-                         opt,    comp_rng, ledger,         res.stats};
+    RoundLedger& ledger = comp_ledgers[static_cast<std::size_t>(ci)];
+    Rng& comp_rng = comp_rngs[static_cast<std::size_t>(ci)];
+    ComponentContext ctx{comp, delta,    local_schedule,
+                         lin.num_colors, opt,
+                         comp_rng,       ledger,
+                         comp_stats[static_cast<std::size_t>(ci)],
+                         pool};
 
     if (comp.max_degree() < delta || is_clique(comp) || is_cycle(comp) ||
         is_path(comp)) {
@@ -108,7 +125,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
       color_vertex_set_as_list_instance(comp, all, delta, local_schedule,
                                         lin.num_colors, opt.list_engine,
                                         &comp_rng, local, ledger,
-                                        "trivial-component");
+                                        "trivial-component", pool);
     } else {
       switch (alg) {
         case Algorithm::kDeterministic:
@@ -133,28 +150,59 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
     }
 
     validate_delta_coloring(comp, local, delta);
+    // res.coloring slices are disjoint across components: race-free.
     for (int v = 0; v < comp.num_vertices(); ++v) {
       res.coloring[sub.to_parent[static_cast<std::size_t>(v)]] = local[v];
     }
-    if (ledger.total() > max_component_ledger.total()) {
-      max_component_ledger = ledger;
-    }
+  });
+
+  // Serial folds in component order (see scheduler comment above).
+  for (const auto& stats : comp_stats) {
+    internal::merge_component_stats(res.stats, stats);
   }
-  res.ledger.merge(max_component_ledger);
+  charge_max_component(res.ledger, comp_ledgers);
   validate_delta_coloring(g, res.coloring, delta);
   return res;
 }
 
 }  // namespace
 
+namespace internal {
+
+void merge_component_stats(PhaseStats& into, const PhaseStats& from) {
+  into.num_dccs_selected += from.num_dccs_selected;
+  into.base_layer_size += from.base_layer_size;
+  into.num_b_layers += from.num_b_layers;
+  into.num_selected += from.num_selected;
+  into.num_tnodes += from.num_tnodes;
+  into.num_marked += from.num_marked;
+  into.num_c_layers += from.num_c_layers;
+  into.h_vertices += from.h_vertices;
+  into.happy_vertices += from.happy_vertices;
+  into.leftover_vertices += from.leftover_vertices;
+  into.leftover_components += from.leftover_components;
+  into.max_leftover_component =
+      std::max(into.max_leftover_component, from.max_leftover_component);
+  into.anchors_empty_fallbacks += from.anchors_empty_fallbacks;
+  into.brooks_fixes += from.brooks_fixes;
+  into.repairs += from.repairs;
+  // retries_used is owned by the delta_color retry loop, not per-component.
+}
+
+}  // namespace internal
+
 DeltaColoringResult delta_color(const Graph& g, Algorithm alg,
                                 const DeltaColoringOptions& opt) {
   const bool randomized = alg != Algorithm::kDeterministic;
   const int tries = randomized && !opt.strict ? std::max(1, opt.max_retries + 1) : 1;
+  // One pool for the whole call (retries included); num_threads <= 1 spawns
+  // no workers and the runtime takes its inline serial paths throughout.
+  ThreadPool pool(ThreadPool::resolve_num_threads(opt.num_threads));
+  ThreadPool* pool_ptr = pool.num_threads() > 1 ? &pool : nullptr;
   std::uint64_t seed = opt.seed;
   for (int attempt_idx = 0;; ++attempt_idx) {
     try {
-      DeltaColoringResult res = attempt(g, alg, opt, seed);
+      DeltaColoringResult res = attempt(g, alg, opt, seed, pool_ptr);
       res.stats.retries_used = attempt_idx;
       return res;
     } catch (const ContractViolation&) {

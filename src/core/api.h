@@ -74,11 +74,22 @@ struct DeltaColoringOptions {
 
   /// Full-run retries with fresh randomness if a randomized run throws.
   int max_retries = 2;
+
+  /// Worker threads for the parallel execution runtime (src/runtime/):
+  /// connected components run concurrently and the per-node phases (message
+  /// rounds, Linial, list-coloring sweeps, DCC detection) execute as chunked
+  /// parallel-for loops. Affects wall-clock speed ONLY — colorings, round
+  /// ledgers and phase stats are bit-for-bit identical for every value
+  /// (enforced by tests/test_parallel_determinism.cpp). <= 1 runs fully
+  /// serial; 0 means "use all hardware threads".
+  int num_threads = 1;
 };
 
 /// Per-phase observability of one delta_color run: how much work each phase
 /// of the paper's pipeline did. Fields are 0 for phases the chosen algorithm
-/// does not execute.
+/// does not execute. Counters aggregate over all connected components of the
+/// input (sums, except max_leftover_component which is a maximum), so they
+/// are independent of the order — or concurrency — in which components ran.
 struct PhaseStats {
   int num_dccs_selected = 0;       ///< Phase (1)
   int base_layer_size = 0;         ///< |B0|

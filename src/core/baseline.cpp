@@ -72,13 +72,13 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
   const std::vector<int> base =
       ruling_set(g, all, R, RulingSetEngine::kDeterministic, nullptr,
                  ctx.ledger, "ps/ruling-set");
-  ctx.stats.base_layer_size = static_cast<int>(base.size());
+  ctx.stats.base_layer_size += static_cast<int>(base.size());
 
   const int z =
       (R - 1) * ruling_set_cover_radius(n, RulingSetEngine::kDeterministic);
   const Layering layering = build_layers(g, base, z);
   ctx.ledger.charge(layering.num_layers, "ps/layering");
-  ctx.stats.num_b_layers = layering.num_layers;
+  ctx.stats.num_b_layers += layering.num_layers;
   for (int v = 0; v < n; ++v) {
     DC_ENSURE(layering.layer[static_cast<std::size_t>(v)] != kNoLayer,
               "ruling set covering failed to reach a vertex");
@@ -115,7 +115,7 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
   }
   Coloring wide(static_cast<std::size_t>(n), kUncolored);
   rand_list_coloring(g, lists, ctx.schedule, ctx.schedule_colors, ctx.rng,
-                     wide, ctx.ledger, "naive/delta-plus-one");
+                     wide, ctx.ledger, "naive/delta-plus-one", ctx.pool);
 
   // Stage 2: keep colors < Delta; the overflow class (an independent set)
   // is repaired by Brooks fixes scheduled via an MIS of the (2 rho + 1)-th
@@ -135,7 +135,7 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
     if (overflow.empty()) break;
     const std::vector<int> batch =
         ruling_set(g, overflow, 2 * rho + 2, RulingSetEngine::kRandomized,
-                   &ctx.rng, ctx.ledger, "naive/schedule");
+                   &ctx.rng, ctx.ledger, "naive/schedule", ctx.pool);
     DC_ENSURE(!batch.empty(), "scheduling MIS returned empty batch");
     for (int v : batch) {
       if (c[static_cast<std::size_t>(v)] != kUncolored) continue;  // side-colored

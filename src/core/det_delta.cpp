@@ -32,7 +32,7 @@ void run_deterministic(ComponentContext& ctx, Coloring& c) {
       ruling_set(g, all, R, RulingSetEngine::kDeterministic, nullptr,
                  ctx.ledger, "det/ruling-set");
   DC_ENSURE(!base.empty(), "ruling set of a non-empty graph is empty");
-  ctx.stats.base_layer_size = static_cast<int>(base.size());
+  ctx.stats.base_layer_size += static_cast<int>(base.size());
 
   // Covering radius of the deterministic engine, in G hops.
   const int z =
@@ -43,11 +43,11 @@ void run_deterministic(ComponentContext& ctx, Coloring& c) {
     DC_ENSURE(layering.layer[static_cast<std::size_t>(v)] != kNoLayer,
               "ruling set covering failed to reach a vertex");
   }
-  ctx.stats.num_b_layers = layering.num_layers;
+  ctx.stats.num_b_layers += layering.num_layers;
 
   color_layers_in_reverse(g, layering, delta, ctx.schedule,
                           ctx.schedule_colors, ctx.opt.list_engine, &ctx.rng,
-                          c, ctx.ledger, "det/layer-coloring");
+                          c, ctx.ledger, "det/layer-coloring", ctx.pool);
 
   // Color B0 by independent Brooks fixes. Balls of radius rho around
   // distinct B0 nodes are disjoint, so the fixes commute and all, in a real

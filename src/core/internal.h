@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/api.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 namespace deltacol::internal {
@@ -20,12 +21,18 @@ struct ComponentContext {
   Rng& rng;
   RoundLedger& ledger;
   PhaseStats& stats;
+  ThreadPool* pool = nullptr;  // nullptr: run serial (see src/runtime/)
 };
 
 void run_deterministic(ComponentContext& ctx, Coloring& c);
 void run_baseline_nd(ComponentContext& ctx, Coloring& c);
 void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c);
 void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant);
+
+// Folds one component's counters into the run-wide stats (sums, except
+// max_leftover_component which is a max; retries_used is owned by the
+// dispatcher). Called on the dispatcher thread, in component-index order.
+void merge_component_stats(PhaseStats& into, const PhaseStats& from);
 
 // Section 4.3: color one leftover component (vertex list in ctx.g ids,
 // all currently uncolored) respecting the partial coloring in c.

@@ -5,6 +5,7 @@
 
 #include "coloring/list_coloring.h"
 #include "graph/ops.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -75,7 +76,8 @@ void color_vertex_set_as_list_instance(const Graph& g,
                                        int schedule_colors, ListEngine engine,
                                        Rng* rng, Coloring& c,
                                        RoundLedger& ledger,
-                                       std::string_view phase) {
+                                       std::string_view phase,
+                                       ThreadPool* pool) {
   std::vector<int> todo;
   for (int v : vertices) {
     if (c[static_cast<std::size_t>(v)] == kUncolored) todo.push_back(v);
@@ -84,12 +86,14 @@ void color_vertex_set_as_list_instance(const Graph& g,
   const auto sub = induced_subgraph(g, todo);
   ListAssignment lists(static_cast<std::size_t>(sub.graph.num_vertices()));
   Coloring sub_schedule(static_cast<std::size_t>(sub.graph.num_vertices()));
-  for (int i = 0; i < sub.graph.num_vertices(); ++i) {
+  // Per-instance-vertex setup reads the frozen partial coloring and writes
+  // i-private slots: a parallel-for.
+  pooled_for(pool, 0, sub.graph.num_vertices(), [&](int i) {
     const int p = sub.to_parent[static_cast<std::size_t>(i)];
     lists[static_cast<std::size_t>(i)] = free_colors(g, c, p, delta);
     sub_schedule[static_cast<std::size_t>(i)] =
         schedule[static_cast<std::size_t>(p)];
-  }
+  });
   DC_ENSURE(lists_have_deg_plus_one(sub.graph, lists),
             "layer instance is not (deg+1): some vertex lacks an uncolored "
             "lower-layer neighbor");
@@ -97,12 +101,12 @@ void color_vertex_set_as_list_instance(const Graph& g,
   switch (engine) {
     case ListEngine::kDeterministic:
       det_list_coloring(sub.graph, lists, sub_schedule, schedule_colors, sub_c,
-                        ledger, phase);
+                        ledger, phase, pool);
       break;
     case ListEngine::kRandomized:
       DC_REQUIRE(rng != nullptr, "randomized engine needs an Rng");
       rand_list_coloring(sub.graph, lists, sub_schedule, schedule_colors, *rng,
-                         sub_c, ledger, phase);
+                         sub_c, ledger, phase, pool);
       break;
   }
   for (int i = 0; i < sub.graph.num_vertices(); ++i) {
@@ -114,11 +118,13 @@ void color_layers_in_reverse(const Graph& g, const Layering& layering,
                              int delta, const Coloring& schedule,
                              int schedule_colors, ListEngine engine, Rng* rng,
                              Coloring& c, RoundLedger& ledger,
-                             std::string_view phase) {
+                             std::string_view phase, ThreadPool* pool) {
+  // Layers are inherently sequential (layer i needs i+1 colored); the
+  // parallelism lives inside each layer's instance.
   for (int i = layering.num_layers - 1; i >= 1; --i) {
     color_vertex_set_as_list_instance(
         g, layering.members[static_cast<std::size_t>(i)], delta, schedule,
-        schedule_colors, engine, rng, c, ledger, phase);
+        schedule_colors, engine, rng, c, ledger, phase, pool);
   }
 }
 

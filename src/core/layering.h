@@ -20,6 +20,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 inline constexpr int kNoLayer = -1;
 
 struct Layering {
@@ -53,7 +55,7 @@ void color_layers_in_reverse(const Graph& g, const Layering& layering,
                              int delta, const Coloring& schedule,
                              int schedule_colors, ListEngine engine, Rng* rng,
                              Coloring& c, RoundLedger& ledger,
-                             std::string_view phase);
+                             std::string_view phase, ThreadPool* pool = nullptr);
 
 // One (deg+1)-list instance: color exactly `vertices` (those uncolored in c)
 // from palette {0..delta-1} minus colored neighbors. Shared by all phases.
@@ -63,6 +65,7 @@ void color_vertex_set_as_list_instance(const Graph& g,
                                        int schedule_colors, ListEngine engine,
                                        Rng* rng, Coloring& c,
                                        RoundLedger& ledger,
-                                       std::string_view phase);
+                                       std::string_view phase,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace deltacol

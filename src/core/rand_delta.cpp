@@ -23,6 +23,7 @@
 #include "graph/ops.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -39,7 +40,8 @@ struct MarkingOutcome {
 // within distance b in H; survivors color two non-adjacent H-neighbors with
 // the first color.
 MarkingOutcome marking_process(const Graph& g, const std::vector<bool>& in_h,
-                               Coloring& c, double p, int b, Rng& rng) {
+                               Coloring& c, double p, int b, Rng& rng,
+                               ThreadPool* pool) {
   const int n = g.num_vertices();
   std::vector<int> selected0;
   for (int v = 0; v < n; ++v) {
@@ -51,17 +53,26 @@ MarkingOutcome marking_process(const Graph& g, const std::vector<bool>& in_h,
   for (int v : selected0) is_selected0[static_cast<std::size_t>(v)] = true;
 
   auto in_h_only = [&](int u) { return in_h[static_cast<std::size_t>(u)]; };
-  MarkingOutcome out;
-  for (int v : selected0) {
-    // Back off if another selected node lies within distance b in H.
-    bool lonely = true;
+  // Back-off test: a pure read of the frozen selection (the b-radius ball
+  // scans are the expensive part), so it runs as a parallel-for; the
+  // Rng-consuming mark placement below stays serial in selection order, so
+  // the stream is identical for every thread count.
+  const int num_selected = static_cast<int>(selected0.size());
+  std::vector<char> lonely_flags(selected0.size(), 1);
+  pooled_for(pool, 0, num_selected, [&](int i) {
+    const int v = selected0[static_cast<std::size_t>(i)];
     for (int u : ball_filtered(g, v, b, in_h_only)) {
       if (u != v && is_selected0[static_cast<std::size_t>(u)]) {
-        lonely = false;
-        break;
+        lonely_flags[static_cast<std::size_t>(i)] = 0;
+        return;
       }
     }
-    if (!lonely) continue;
+  });
+  MarkingOutcome out;
+  for (int i = 0; i < num_selected; ++i) {
+    const int v = selected0[static_cast<std::size_t>(i)];
+    // Back off if another selected node lies within distance b in H.
+    if (!lonely_flags[static_cast<std::size_t>(i)]) continue;
     // Pick two non-adjacent H-neighbors at random.
     std::vector<int> nbrs;
     for (int u : g.neighbors(v)) {
@@ -115,8 +126,9 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   }
 
   // ---- Phase (1): DCC detection in r-balls ------------------------------
-  const DccDetection det = detect_dccs(g, r, ctx.ledger, "rand/1-dcc-detect");
-  ctx.stats.num_dccs_selected = static_cast<int>(det.dccs.size());
+  const DccDetection det =
+      detect_dccs(g, r, ctx.ledger, "rand/1-dcc-detect", ctx.pool);
+  ctx.stats.num_dccs_selected += static_cast<int>(det.dccs.size());
 
   // ---- Phase (2): ruling set on GDCC, base layer B0 ----------------------
   std::vector<int> base;
@@ -126,8 +138,9 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
     // One GDCC round costs a gather across two DCC diameters plus the
     // connecting edge.
     const int per_step = 2 * det.max_dcc_radius + 1;
-    const std::vector<bool> in_m =
-        luby_mis(gdcc, ctx.rng, ctx.ledger, "rand/2-gdcc-ruling", per_step);
+    const std::vector<bool> in_m = luby_mis(gdcc, ctx.rng, ctx.ledger,
+                                            "rand/2-gdcc-ruling", per_step,
+                                            ctx.pool);
     dcc_in_m.assign(det.dccs.size(), 0);
     for (std::size_t i = 0; i < det.dccs.size(); ++i) {
       if (in_m[i]) {
@@ -136,7 +149,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
       }
     }
   }
-  ctx.stats.base_layer_size = static_cast<int>(base.size());
+  ctx.stats.base_layer_size += static_cast<int>(base.size());
 
   // ---- Phase (3): layers B0..Bs -----------------------------------------
   const int s = r + 2 * det.max_dcc_radius + 1;
@@ -155,7 +168,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
                     b_layers.layer[static_cast<std::size_t>(v)] != kNoLayer,
                 "DCC-adjacent vertex escaped the B-layers");
     }
-    ctx.stats.num_b_layers = b_layers.num_layers;
+    ctx.stats.num_b_layers += b_layers.num_layers;
   } else {
     for (int v = 0; v < n; ++v) {
       DC_ENSURE(!det.has_dcc[static_cast<std::size_t>(v)],
@@ -168,21 +181,22 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   }
 
   // ---- Phase (4): marking process / T-node creation ----------------------
-  const MarkingOutcome marking = marking_process(g, in_h, c, p, b, ctx.rng);
-  ctx.stats.num_selected = static_cast<int>(marking.tnodes.size());
+  const MarkingOutcome marking =
+      marking_process(g, in_h, c, p, b, ctx.rng, ctx.pool);
+  ctx.stats.num_selected += static_cast<int>(marking.tnodes.size());
   ctx.ledger.charge(b + 2, "rand/4-marking");
 
   // ---- Phase (5): layers C0..C2r ----------------------------------------
   // Boundary of H: degree < delta within H.
   std::vector<int> deg_h(static_cast<std::size_t>(n), 0);
-  for (int v = 0; v < n; ++v) {
-    if (!in_h[static_cast<std::size_t>(v)]) continue;
+  pooled_for(ctx.pool, 0, n, [&](int v) {
+    if (!in_h[static_cast<std::size_t>(v)]) return;
     for (int u : g.neighbors(v)) {
       if (in_h[static_cast<std::size_t>(u)]) {
         ++deg_h[static_cast<std::size_t>(v)];
       }
     }
-  }
+  });
   std::vector<int> boundary;
   for (int v = 0; v < n; ++v) {
     if (in_h[static_cast<std::size_t>(v)] &&
@@ -231,12 +245,12 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
       ++surviving_t;
     }
   }
-  ctx.stats.num_tnodes = surviving_t;
+  ctx.stats.num_tnodes += surviving_t;
   int marked_kept = 0;
   for (int m : marking.marked) {
     if (c[static_cast<std::size_t>(m)] == 0) ++marked_kept;
   }
-  ctx.stats.num_marked = marked_kept;
+  ctx.stats.num_marked += marked_kept;
 
   std::vector<bool> uncolored_h(static_cast<std::size_t>(n), false);
   for (int v = 0; v < n; ++v) {
@@ -254,7 +268,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
         ++ctx.stats.happy_vertices;
       }
     }
-    ctx.stats.num_c_layers = c_layers.num_layers;
+    ctx.stats.num_c_layers += c_layers.num_layers;
   }
   ctx.ledger.charge(3 * r + 2, "rand/5-c-layers");
 
@@ -266,11 +280,11 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
       leftover.push_back(v);
     }
   }
-  ctx.stats.leftover_vertices = static_cast<int>(leftover.size());
+  ctx.stats.leftover_vertices += static_cast<int>(leftover.size());
   if (!leftover.empty()) {
     const auto lsub = induced_subgraph(g, leftover);
     const auto comps = connected_components(lsub.graph).vertex_sets();
-    ctx.stats.leftover_components = static_cast<int>(comps.size());
+    ctx.stats.leftover_components += static_cast<int>(comps.size());
     // Components are colored in parallel: charge the max component cost.
     std::int64_t max_rounds = 0;
     for (const auto& comp : comps) {
@@ -284,7 +298,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
       RoundLedger child;
       ComponentContext child_ctx{ctx.g,  ctx.delta, ctx.schedule,
                                  ctx.schedule_colors, ctx.opt, ctx.rng,
-                                 child,  ctx.stats};
+                                 child,  ctx.stats, ctx.pool};
       color_small_component(child_ctx, c, comp_parent);
       max_rounds = std::max(max_rounds, child.total());
     }
@@ -295,17 +309,18 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   if (c_layers.num_layers > 0) {
     color_layers_in_reverse(g, c_layers, delta, ctx.schedule,
                             ctx.schedule_colors, ctx.opt.list_engine, &ctx.rng,
-                            c, ctx.ledger, "rand/7-c-coloring");
+                            c, ctx.ledger, "rand/7-c-coloring", ctx.pool);
     color_vertex_set_as_list_instance(
         g, c_layers.members.front(), delta, ctx.schedule, ctx.schedule_colors,
-        ctx.opt.list_engine, &ctx.rng, c, ctx.ledger, "rand/7-c-coloring");
+        ctx.opt.list_engine, &ctx.rng, c, ctx.ledger, "rand/7-c-coloring",
+        ctx.pool);
   }
 
   // ---- Phase (8): color layers Bs..B1 -------------------------------------
   if (b_layers.num_layers > 0) {
     color_layers_in_reverse(g, b_layers, delta, ctx.schedule,
                             ctx.schedule_colors, ctx.opt.list_engine, &ctx.rng,
-                            c, ctx.ledger, "rand/8-b-coloring");
+                            c, ctx.ledger, "rand/8-b-coloring", ctx.pool);
   }
 
   // ---- Phase (9): color the base layer B0 (independent DCCs) -------------

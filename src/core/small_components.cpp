@@ -129,7 +129,7 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
   // DCCs of radius <= R inside the component.
   RoundLedger det_ledger;
   const DccDetection det =
-      detect_dccs(comp, R, det_ledger, "small/dcc-detect");
+      detect_dccs(comp, R, det_ledger, "small/dcc-detect", ctx.pool);
   ctx.ledger.merge(det_ledger);
 
   if (free_nodes.empty() && det.dccs.empty()) {
@@ -148,7 +148,8 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
   const CdccObjects cdcc = build_cdcc(comp, free_nodes, det.dccs);
   const int per_step = 2 * std::max(1, det.max_dcc_radius) + 1;
   const std::vector<bool> in_m = luby_mis(cdcc.graph, ctx.rng, ctx.ledger,
-                                          "small/cdcc-ruling", per_step);
+                                          "small/cdcc-ruling", per_step,
+                                          ctx.pool);
 
   std::vector<int> anchors;  // component-local ids, deduplicated
   std::vector<char> anchor_object(cdcc.vertex_sets.size(), 0);
@@ -185,7 +186,8 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
     }
     color_vertex_set_as_list_instance(
         g, members_parent, delta, ctx.schedule, ctx.schedule_colors,
-        ctx.opt.list_engine, &ctx.rng, c, ctx.ledger, "small/d-coloring");
+        ctx.opt.list_engine, &ctx.rng, c, ctx.ledger, "small/d-coloring",
+        ctx.pool);
   }
 
   // D0: the ruling-set objects are pairwise non-adjacent, color each

@@ -6,6 +6,7 @@
 #include "graph/components.h"
 #include "graph/structure.h"
 #include "graph/traversal.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -116,7 +117,7 @@ std::vector<int> extract_small_dcc(const Graph& g,
 }  // namespace
 
 DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
-                         std::string_view phase) {
+                         std::string_view phase, ThreadPool* pool) {
   DC_REQUIRE(r >= 1, "DCC detection radius must be >= 1");
   const int n = g.num_vertices();
   DccDetection out;
@@ -127,13 +128,6 @@ DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
   // extra round to exchange the selections for deduplication).
   ledger.charge(r + 1, phase);
 
-  // Reusable scratch state: allocating an O(n) vertex map per ball would
-  // dominate the runtime at simulation scale.
-  std::vector<int> scratch_local(static_cast<std::size_t>(n), -1);
-  std::vector<int> ball_dist(static_cast<std::size_t>(n), -1);
-  std::vector<int> ball_vertices;
-  std::vector<Edge> ball_edges;
-
   // Global fast path: induced subgraphs of Gallai trees are Gallai trees
   // (their 2-connected subgraphs live inside clique / odd-cycle blocks), so
   // when the whole graph is Gallai no ball anywhere contains a DCC. This
@@ -141,89 +135,125 @@ DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
   // R ~ 2 log N — quadratic if done ball by ball.
   if (dcc_blocks(g).empty()) return out;
 
+  // Every node inspects its own ball and nominates one DCC vertex set — a
+  // pure function of the graph, so the balls are analyzed in parallel (the
+  // hottest loop of the randomized pipeline). best_sets[v] is v-private;
+  // the cross-node deduplication happens serially below, in id order, so
+  // DCC indices are identical for every thread count.
+  std::vector<std::vector<int>> best_sets(static_cast<std::size_t>(n));
+  auto analyze_range = [&](int /*chunk*/, int lo, int hi) {
+    // Reusable per-chunk scratch: allocating an O(n) vertex map per ball
+    // would dominate the runtime at simulation scale.
+    std::vector<int> scratch_local(static_cast<std::size_t>(n), -1);
+    std::vector<int> ball_dist(static_cast<std::size_t>(n), -1);
+    std::vector<int> ball_vertices;
+    std::vector<Edge> ball_edges;
+
+    for (int v = lo; v < hi; ++v) {
+      // Truncated BFS collecting the ball.
+      ball_vertices.clear();
+      ball_edges.clear();
+      ball_vertices.push_back(v);
+      ball_dist[static_cast<std::size_t>(v)] = 0;
+      for (std::size_t head = 0; head < ball_vertices.size(); ++head) {
+        const int u = ball_vertices[head];
+        if (ball_dist[static_cast<std::size_t>(u)] >= r) continue;
+        for (int w : g.neighbors(u)) {
+          if (ball_dist[static_cast<std::size_t>(w)] == -1) {
+            ball_dist[static_cast<std::size_t>(w)] =
+                ball_dist[static_cast<std::size_t>(u)] + 1;
+            ball_vertices.push_back(w);
+          }
+        }
+      }
+      for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
+        scratch_local[static_cast<std::size_t>(
+            ball_vertices[static_cast<std::size_t>(i)])] = i;
+      }
+      for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
+        const int u = ball_vertices[static_cast<std::size_t>(i)];
+        for (int w : g.neighbors(u)) {
+          const int j = scratch_local[static_cast<std::size_t>(w)];
+          if (j > i) ball_edges.emplace_back(i, j);
+        }
+      }
+      Subgraph sub;
+      sub.graph = Graph::from_edges(static_cast<int>(ball_vertices.size()),
+                                    ball_edges);
+      sub.to_parent = ball_vertices;
+      // Reset scratch before any early exit below.
+      for (int u : ball_vertices) {
+        scratch_local[static_cast<std::size_t>(u)] = -1;
+        ball_dist[static_cast<std::size_t>(u)] = -1;
+      }
+
+      const auto local_blocks = dcc_blocks(sub.graph);
+      if (local_blocks.empty()) continue;
+
+      // Pick the block nearest to v (distance 0 if v belongs to one); ties
+      // by lexicographically smallest parent-id vertex set for determinism.
+      const int v_local = 0;  // v is the BFS root of its own ball
+      const auto dist = bfs_distances(sub.graph, v_local);
+      int best_dist = -1;
+      const std::vector<int>* best_block = nullptr;
+      std::vector<int> best_key;
+      for (const auto& block : local_blocks) {
+        int d = sub.graph.num_vertices();
+        std::vector<int> key;
+        key.reserve(block.size());
+        for (int x : block) {
+          if (dist[static_cast<std::size_t>(x)] != kUnreachable) {
+            d = std::min(d, dist[static_cast<std::size_t>(x)]);
+          }
+          key.push_back(sub.to_parent[static_cast<std::size_t>(x)]);
+        }
+        std::sort(key.begin(), key.end());
+        if (best_dist == -1 || d < best_dist ||
+            (d == best_dist && key < best_key)) {
+          best_dist = d;
+          best_block = &block;
+          best_key = std::move(key);
+        }
+      }
+      // Shrink the winning block to a small DCC (see extract_small_dcc).
+      std::vector<int> best_set;
+      for (int x : extract_small_dcc(sub.graph, *best_block)) {
+        best_set.push_back(sub.to_parent[static_cast<std::size_t>(x)]);
+      }
+      std::sort(best_set.begin(), best_set.end());
+      best_sets[static_cast<std::size_t>(v)] = std::move(best_set);
+    }
+  };
+  // Chunk cap = one per executor: each chunk allocates two O(n) scratch
+  // vectors, so more chunks than executors would only multiply that cost
+  // (chunk boundaries are not observable — results are unchanged).
+  pooled_ranges(pool, 0, n, analyze_range,
+                pool != nullptr ? pool->num_threads() : 1);
+
+  // Serial deduplication in id order: first nominator wins the index.
   std::map<std::vector<int>, int> dcc_index;
   for (int v = 0; v < n; ++v) {
-    // Truncated BFS collecting the ball.
-    ball_vertices.clear();
-    ball_edges.clear();
-    ball_vertices.push_back(v);
-    ball_dist[static_cast<std::size_t>(v)] = 0;
-    for (std::size_t head = 0; head < ball_vertices.size(); ++head) {
-      const int u = ball_vertices[head];
-      if (ball_dist[static_cast<std::size_t>(u)] >= r) continue;
-      for (int w : g.neighbors(u)) {
-        if (ball_dist[static_cast<std::size_t>(w)] == -1) {
-          ball_dist[static_cast<std::size_t>(w)] =
-              ball_dist[static_cast<std::size_t>(u)] + 1;
-          ball_vertices.push_back(w);
-        }
-      }
-    }
-    for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
-      scratch_local[static_cast<std::size_t>(
-          ball_vertices[static_cast<std::size_t>(i)])] = i;
-    }
-    for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
-      const int u = ball_vertices[static_cast<std::size_t>(i)];
-      for (int w : g.neighbors(u)) {
-        const int j = scratch_local[static_cast<std::size_t>(w)];
-        if (j > i) ball_edges.emplace_back(i, j);
-      }
-    }
-    Subgraph sub;
-    sub.graph = Graph::from_edges(static_cast<int>(ball_vertices.size()),
-                                  ball_edges);
-    sub.to_parent = ball_vertices;
-    // Reset scratch before any early exit below.
-    for (int u : ball_vertices) {
-      scratch_local[static_cast<std::size_t>(u)] = -1;
-      ball_dist[static_cast<std::size_t>(u)] = -1;
-    }
-
-    const auto local_blocks = dcc_blocks(sub.graph);
-    if (local_blocks.empty()) continue;
+    auto& best_set = best_sets[static_cast<std::size_t>(v)];
+    if (best_set.empty()) continue;
     out.has_dcc[static_cast<std::size_t>(v)] = true;
-
-    // Pick the block nearest to v (distance 0 if v belongs to one); ties by
-    // lexicographically smallest parent-id vertex set for determinism.
-    const int v_local = 0;  // v is the BFS root of its own ball
-    const auto dist = bfs_distances(sub.graph, v_local);
-    int best_dist = -1;
-    const std::vector<int>* best_block = nullptr;
-    std::vector<int> best_key;
-    for (const auto& block : local_blocks) {
-      int d = sub.graph.num_vertices();
-      std::vector<int> key;
-      key.reserve(block.size());
-      for (int x : block) {
-        if (dist[static_cast<std::size_t>(x)] != kUnreachable) {
-          d = std::min(d, dist[static_cast<std::size_t>(x)]);
-        }
-        key.push_back(sub.to_parent[static_cast<std::size_t>(x)]);
-      }
-      std::sort(key.begin(), key.end());
-      if (best_dist == -1 || d < best_dist ||
-          (d == best_dist && key < best_key)) {
-        best_dist = d;
-        best_block = &block;
-        best_key = std::move(key);
-      }
-    }
-    // Shrink the winning block to a small DCC (see extract_small_dcc).
-    std::vector<int> best_set;
-    for (int x : extract_small_dcc(sub.graph, *best_block)) {
-      best_set.push_back(sub.to_parent[static_cast<std::size_t>(x)]);
-    }
-    std::sort(best_set.begin(), best_set.end());
     const auto [it, inserted] =
-        dcc_index.try_emplace(best_set, static_cast<int>(out.dccs.size()));
-    if (inserted) out.dccs.push_back(best_set);
+        dcc_index.try_emplace(std::move(best_set),
+                              static_cast<int>(out.dccs.size()));
+    if (inserted) out.dccs.push_back(it->first);
     out.selected[static_cast<std::size_t>(v)] = it->second;
   }
 
-  for (const auto& d : out.dccs) {
-    const auto sub = induced_subgraph(g, d);
-    out.max_dcc_radius = std::max(out.max_dcc_radius, graph_radius(sub.graph));
+  // Radii of the selected DCCs: independent BFS sweeps, max-combined (order
+  // free), so the scan parallelizes over DCC indices.
+  const int num_dccs = static_cast<int>(out.dccs.size());
+  std::vector<int> radius(static_cast<std::size_t>(num_dccs), 0);
+  pooled_for(pool, 0, num_dccs, [&](int i) {
+    const auto sub = induced_subgraph(g, out.dccs[static_cast<std::size_t>(i)]);
+    radius[static_cast<std::size_t>(i)] = graph_radius(sub.graph);
+  });
+  for (int i = 0; i < num_dccs; ++i) {
+    out.max_dcc_radius = std::max(out.max_dcc_radius,
+                                  radius[static_cast<std::size_t>(i)]);
   }
   return out;
 }

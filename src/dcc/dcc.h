@@ -21,6 +21,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 // Is this whole graph a DCC? (2-connected, not clique, not odd cycle,
 // at least 3 vertices.)
 bool is_dcc(const Graph& g);
@@ -47,7 +49,7 @@ struct DccDetection {
   int max_dcc_radius = 0;
 };
 DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
-                         std::string_view phase);
+                         std::string_view phase, ThreadPool* pool = nullptr);
 
 // The virtual graph GDCC: one vertex per DCC; two DCCs are adjacent iff they
 // share a vertex or are joined by an edge of g (paper Phase (1)).

@@ -6,8 +6,30 @@
 
 namespace deltacol {
 
-void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
-  DC_REQUIRE(rounds >= 0, "cannot charge negative rounds");
+RoundLedger::RoundLedger(const RoundLedger& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  total_ = other.total_;
+  phases_ = other.phases_;
+}
+
+RoundLedger& RoundLedger::operator=(const RoundLedger& other) {
+  if (this == &other) return *this;
+  // Copy under the source lock first so self-consistent state is taken even
+  // if the source is being charged concurrently.
+  std::int64_t total;
+  std::vector<PhaseTotal> phases;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    total = other.total_;
+    phases = other.phases_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = total;
+  phases_ = std::move(phases);
+  return *this;
+}
+
+void RoundLedger::charge_locked(std::int64_t rounds, std::string_view phase) {
   total_ += rounds;
   for (auto& p : phases_) {
     if (p.phase == phase) {
@@ -18,7 +40,19 @@ void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
   phases_.push_back({std::string(phase), rounds});
 }
 
+void RoundLedger::charge(std::int64_t rounds, std::string_view phase) {
+  DC_REQUIRE(rounds >= 0, "cannot charge negative rounds");
+  std::lock_guard<std::mutex> lock(mu_);
+  charge_locked(rounds, phase);
+}
+
+std::int64_t RoundLedger::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
 std::int64_t RoundLedger::phase_total(std::string_view phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& p : phases_) {
     if (p.phase == phase) return p.rounds;
   }
@@ -26,10 +60,19 @@ std::int64_t RoundLedger::phase_total(std::string_view phase) const {
 }
 
 void RoundLedger::merge(const RoundLedger& child) {
-  for (const auto& p : child.phases_) charge(p.rounds, p.phase);
+  // Take a self-consistent snapshot of the child (it may be `*this`-unlike
+  // but still live), then fold it in under our own lock.
+  std::vector<PhaseTotal> child_phases;
+  {
+    std::lock_guard<std::mutex> lock(child.mu_);
+    child_phases = child.phases_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& p : child_phases) charge_locked(p.rounds, p.phase);
 }
 
 std::string RoundLedger::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "total rounds: " << total_ << '\n';
   for (const auto& p : phases_) {
@@ -39,6 +82,7 @@ std::string RoundLedger::report() const {
 }
 
 void RoundLedger::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_ = 0;
   phases_.clear();
 }

@@ -14,9 +14,19 @@
 /// The ledger keeps a per-phase breakdown so experiments can report where the
 /// rounds went (e.g. how much of Theorem 3's cost is the list-coloring
 /// substitution discussed in DESIGN.md).
+///
+/// Thread safety: charge/merge/reset and the scalar reads are internally
+/// synchronized, so concurrent phases of the parallel runtime may charge a
+/// shared ledger. breakdown() returns a reference and must only be called
+/// when no writer is active (the runtime only folds ledgers after its
+/// barriers, so this holds by construction). Determinism note: the parallel
+/// runtime never charges one ledger from two threads whose order matters —
+/// each component job owns a private ledger and the fold is serial — the
+/// locking is a safety net for ad-hoc callers, not an ordering mechanism.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,17 +38,22 @@ namespace deltacol {
 /// never by wall-clock time.
 class RoundLedger {
  public:
+  RoundLedger() = default;
+  RoundLedger(const RoundLedger& other);
+  RoundLedger& operator=(const RoundLedger& other);
+
   /// Charge \p rounds communication rounds to the named phase.
   void charge(std::int64_t rounds, std::string_view phase);
 
   /// Total rounds charged so far, across all phases.
-  std::int64_t total() const { return total_; }
+  std::int64_t total() const;
 
   /// One phase's accumulated cost. Phases appear in first-charge order.
   struct PhaseTotal {
     std::string phase;
     std::int64_t rounds;
   };
+  /// Unsynchronized view; callers must be quiescent (no concurrent charge).
   const std::vector<PhaseTotal>& breakdown() const { return phases_; }
 
   /// Rounds charged to \p phase (0 if the phase never charged).
@@ -46,7 +61,8 @@ class RoundLedger {
 
   /// Merge another ledger into this one (used when a subroutine ran with its
   /// own ledger, e.g. recursive calls on components; components run in
-  /// parallel, so the caller usually charges child.max_parallel() instead).
+  /// parallel, so the caller usually charges the max child instead — see
+  /// runtime/component_scheduler.h).
   void merge(const RoundLedger& child);
 
   /// Human-readable multi-line report.
@@ -56,6 +72,9 @@ class RoundLedger {
   void reset();
 
  private:
+  void charge_locked(std::int64_t rounds, std::string_view phase);
+
+  mutable std::mutex mu_;
   std::int64_t total_ = 0;
   std::vector<PhaseTotal> phases_;
 };

@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "local/sync_engine.h"
+#include "runtime/parallel_sync_engine.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -27,30 +27,34 @@ struct Msg {
 
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
-                                           std::string_view phase) {
+                                           std::string_view phase,
+                                           ThreadPool* pool) {
   const int n = g.num_vertices();
-  SyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase));
+  ParallelSyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase),
+                                            pool);
   // LOCAL-model nodes own private randomness: seed each node once from the
-  // caller's stream (private coins, not communication).
+  // caller's stream (private coins, not communication) — serially, so the
+  // per-node streams are thread-count independent.
   for (int v = 0; v < n; ++v) engine.state(v).rng = rng.split();
 
   int remaining = n;
   while (remaining > 0) {
-    // Private coin flips — no communication round.
-    for (int v = 0; v < n; ++v) {
+    // Private coin flips — no communication round. Each node draws from its
+    // own Rng: a parallel-for.
+    pooled_for(pool, 0, n, [&](int v) {
       NodeState& s = engine.state(v);
       if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
-    }
+    });
     // Round A: actives announce priorities; local minima join.
     engine.round(
         [&g](int v, const NodeState& s) {
-          SyncEngine<NodeState, Msg>::Outbox out;
+          ParallelSyncEngine<NodeState, Msg>::Outbox out;
           if (s.status == NodeStatus::kActive) {
             for (int u : g.neighbors(v)) out.push_back({u, {false, s.priority}});
           }
           return out;
         },
-        [](int v, NodeState& s, const SyncEngine<NodeState, Msg>::Inbox& in) {
+        [](int v, NodeState& s, const ParallelSyncEngine<NodeState, Msg>::Inbox& in) {
           if (s.status != NodeStatus::kActive) return;
           bool local_min = true;
           for (const auto& [from, msg] : in) {
@@ -65,13 +69,13 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
     // Round B: joiners notify, active neighbors drop out.
     engine.round(
         [&g](int v, const NodeState& s) {
-          SyncEngine<NodeState, Msg>::Outbox out;
+          ParallelSyncEngine<NodeState, Msg>::Outbox out;
           if (s.status == NodeStatus::kInMis) {
             for (int u : g.neighbors(v)) out.push_back({u, {true, 0}});
           }
           return out;
         },
-        [](int, NodeState& s, const SyncEngine<NodeState, Msg>::Inbox& in) {
+        [](int, NodeState& s, const ParallelSyncEngine<NodeState, Msg>::Inbox& in) {
           if (s.status != NodeStatus::kActive) return;
           for (const auto& [from, msg] : in) {
             (void)from;

@@ -19,8 +19,13 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
+// `pool` routes the rounds through the ParallelSyncEngine (bit-identical
+// results for any thread count; nullptr runs the serial reference path).
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
-                                           std::string_view phase);
+                                           std::string_view phase,
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace deltacol

@@ -68,7 +68,8 @@ std::vector<bool> aglp_independent_set(const Graph& aux, RoundLedger& ledger,
 
 std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
                             int alpha, RulingSetEngine engine, Rng* rng,
-                            RoundLedger& ledger, std::string_view phase) {
+                            RoundLedger& ledger, std::string_view phase,
+                            ThreadPool* pool) {
   DC_REQUIRE(alpha >= 1, "alpha must be >= 1");
   for (int s : subset) {
     DC_REQUIRE(0 <= s && s < g.num_vertices(), "subset vertex out of range");
@@ -122,7 +123,7 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
   switch (engine) {
     case RulingSetEngine::kRandomized: {
       DC_REQUIRE(rng != nullptr, "randomized engine needs an Rng");
-      in_set = luby_mis(aux, *rng, ledger, phase, per_step);
+      in_set = luby_mis(aux, *rng, ledger, phase, per_step, pool);
       break;
     }
     case RulingSetEngine::kDeterministic:

@@ -22,6 +22,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 enum class RulingSetEngine {
   // Deterministic default. Rounds are charged as the bitwise ID
   // divide-and-conquer [AGLP89-style] algorithm would cost — (alpha-1) *
@@ -48,7 +50,8 @@ enum class RulingSetEngine {
 // be null for the deterministic engine.
 std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
                             int alpha, RulingSetEngine engine, Rng* rng,
-                            RoundLedger& ledger, std::string_view phase);
+                            RoundLedger& ledger, std::string_view phase,
+                            ThreadPool* pool = nullptr);
 
 // Covering radius in auxiliary-graph hops guaranteed by each engine: the
 // MIS-based engines give 1 (maximality); the bitwise deterministic engine

@@ -1,0 +1,142 @@
+/// \file
+/// Multi-threaded synchronous message-passing engine.
+///
+/// Same execution model and callback contract as local/sync_engine.h — one
+/// synchronous LOCAL round = all nodes send, all messages delivered, all
+/// nodes receive, 1 round charged — but each round runs in two parallel
+/// barriers on a ThreadPool:
+///
+///   1. **Parallel send.** Contiguous sender ranges are dispatched as chunks;
+///      each chunk stages its messages in a private outbox, in sender order.
+///   2. **Deterministic merge.** Chunk outboxes are concatenated in chunk
+///      order (= ascending sender order, exactly the order the serial engine
+///      fills inboxes in) and then each inbox is sorted by sender with the
+///      same comparator the serial engine uses.
+///   3. **Parallel receive.** Every node consumes its inbox independently.
+///
+/// Because the merge is keyed on chunk indices and chunk ranges ascend, the
+/// inbox contents handed to receive() are byte-for-byte what SyncEngine
+/// produces — colorings, ledgers and stats are bit-identical for any thread
+/// count, including pool == nullptr (the inline serial path). The test suite
+/// pins this equivalence down (tests/test_runtime.cpp).
+///
+/// Additional contract on the callbacks (trivially satisfied by per-node
+/// LOCAL algorithms): send(v, state) reads only v's state and the graph;
+/// receive(v, state, inbox) mutates only v's state.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/round_ledger.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+template <typename State, typename Msg>
+class ParallelSyncEngine {
+ public:
+  using Outbox = std::vector<std::pair<int, Msg>>;
+  using SendFn = std::function<Outbox(int, const State&)>;
+  using Inbox = std::vector<std::pair<int, Msg>>;
+  using RecvFn = std::function<void(int, State&, const Inbox&)>;
+
+  /// `pool` may be nullptr (or single-threaded): rounds then execute on the
+  /// calling thread, identically to SyncEngine.
+  ParallelSyncEngine(const Graph& g, RoundLedger& ledger, std::string phase,
+                     ThreadPool* pool = nullptr)
+      : graph_(g),
+        ledger_(ledger),
+        phase_(std::move(phase)),
+        pool_(pool),
+        states_(static_cast<std::size_t>(g.num_vertices())) {}
+
+  const Graph& graph() const { return graph_; }
+
+  State& state(int v) { return states_[static_cast<std::size_t>(v)]; }
+  const State& state(int v) const { return states_[static_cast<std::size_t>(v)]; }
+
+  /// Executes one synchronous round over the whole graph and charges 1 round.
+  void round(const SendFn& send, const RecvFn& receive) {
+    const int n = graph_.num_vertices();
+    std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
+
+    if (pool_ == nullptr || pool_->num_threads() <= 1) {
+      // Serial path: the reference semantics (mirrors SyncEngine::round).
+      for (int v = 0; v < n; ++v) {
+        deliver(v, send(v, states_[static_cast<std::size_t>(v)]), inboxes);
+      }
+      for (auto& inbox : inboxes) sort_inbox(inbox);
+      for (int v = 0; v < n; ++v) {
+        receive(v, states_[static_cast<std::size_t>(v)],
+                inboxes[static_cast<std::size_t>(v)]);
+      }
+      ledger_.charge(1, phase_);
+      return;
+    }
+
+    // Barrier 1: parallel send into per-chunk staging buffers.
+    struct Envelope {
+      int to;
+      int from;
+      Msg msg;
+    };
+    std::vector<std::vector<Envelope>> staged(
+        static_cast<std::size_t>(pool_->num_range_chunks(n)));
+    pool_->parallel_ranges(0, n, [&](int chunk, int lo, int hi) {
+      auto& buf = staged[static_cast<std::size_t>(chunk)];
+      for (int v = lo; v < hi; ++v) {
+        for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
+          DC_REQUIRE(graph_.has_edge(v, to),
+                     "LOCAL model: messages only travel along edges");
+          buf.push_back(Envelope{to, v, std::move(msg)});
+        }
+      }
+    });
+    // Deterministic merge: chunk order == ascending sender order, matching
+    // the serial fill exactly.
+    for (auto& buf : staged) {
+      for (auto& e : buf) {
+        inboxes[static_cast<std::size_t>(e.to)].emplace_back(e.from,
+                                                             std::move(e.msg));
+      }
+    }
+    pool_->parallel_for(0, n, [&](int v) {
+      sort_inbox(inboxes[static_cast<std::size_t>(v)]);
+    });
+
+    // Barrier 2: parallel receive; each node touches only its own state.
+    pool_->parallel_for(0, n, [&](int v) {
+      receive(v, states_[static_cast<std::size_t>(v)],
+              inboxes[static_cast<std::size_t>(v)]);
+    });
+    ledger_.charge(1, phase_);
+  }
+
+ private:
+  static void sort_inbox(Inbox& inbox) {
+    std::sort(inbox.begin(), inbox.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  void deliver(int from, Outbox&& out, std::vector<Inbox>& inboxes) {
+    for (auto& [to, msg] : out) {
+      DC_REQUIRE(graph_.has_edge(from, to),
+                 "LOCAL model: messages only travel along edges");
+      inboxes[static_cast<std::size_t>(to)].emplace_back(from, std::move(msg));
+    }
+  }
+
+  const Graph& graph_;
+  RoundLedger& ledger_;
+  std::string phase_;
+  ThreadPool* pool_;
+  std::vector<State> states_;
+};
+
+}  // namespace deltacol
