@@ -12,14 +12,19 @@
 //
 // Reporting: one line per (benchmark, argument tuple) with mean wall-clock
 // time per iteration and the user counters — the same information the
-// drivers' CSV sink consumes. Not implemented (not needed here): threading,
-// fixtures, templated benchmarks, statistical repetitions, --benchmark_*
-// flags.
+// drivers' CSV sink consumes. When the environment variable
+// DELTACOL_BENCH_JSON names a file, every row is additionally written there
+// as machine-readable JSON (schema documented in bench/README.md) so perf
+// trajectories can be tracked across commits. Not implemented (not needed
+// here): threading, fixtures, templated benchmarks, statistical
+// repetitions, --benchmark_* flags (google-benchmark builds get JSON via
+// its own --benchmark_out flag instead).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -197,6 +202,16 @@ class Benchmark {
 };
 
 inline int RunAllBenchmarks() {
+  // Rows accumulated for the optional JSON sink (DELTACOL_BENCH_JSON).
+  struct JsonRow {
+    std::string name;
+    std::vector<std::int64_t> args;
+    std::int64_t iterations = 0;
+    double seconds_per_iteration = 0.0;
+    std::map<std::string, double> counters;
+  };
+  std::vector<JsonRow> json_rows;
+
   for (internal::Registration* reg : internal::registry()) {
     auto tuples = reg->arg_tuples;
     if (tuples.empty()) tuples.push_back({});
@@ -219,6 +234,49 @@ inline int RunAllBenchmarks() {
         std::printf("  %s=%g", name.c_str(), static_cast<double>(counter));
       }
       std::printf("\n");
+
+      JsonRow row;
+      row.name = reg->name;
+      row.args = tuple;
+      row.iterations = state.iterations_run();
+      row.seconds_per_iteration = per_iter;
+      for (const auto& [name, counter] : state.counters) {
+        row.counters[name] = static_cast<double>(counter);
+      }
+      json_rows.push_back(std::move(row));
+    }
+  }
+
+  if (const char* json_path = std::getenv("DELTACOL_BENCH_JSON")) {
+    // Benchmark names are C identifiers and counter names are plain ASCII,
+    // so no string escaping is needed (documented in bench/README.md).
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fprintf(f, "{\n  \"harness\": \"minibench\",\n  \"benchmarks\": [");
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        const JsonRow& row = json_rows[i];
+        std::fprintf(f, "%s\n    {\"name\": \"%s\", \"args\": [",
+                     i == 0 ? "" : ",", row.name.c_str());
+        for (std::size_t a = 0; a < row.args.size(); ++a) {
+          std::fprintf(f, "%s%lld", a == 0 ? "" : ", ",
+                       static_cast<long long>(row.args[a]));
+        }
+        std::fprintf(f, "], \"iterations\": %lld,",
+                     static_cast<long long>(row.iterations));
+        std::fprintf(f, " \"seconds_per_iteration\": %.9g, \"counters\": {",
+                     row.seconds_per_iteration);
+        bool first = true;
+        for (const auto& [name, value] : row.counters) {
+          std::fprintf(f, "%s\"%s\": %.9g", first ? "" : ", ", name.c_str(),
+                       value);
+          first = false;
+        }
+        std::fprintf(f, "}}");
+      }
+      std::fprintf(f, "\n  ]\n}\n");
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "minibench: cannot open DELTACOL_BENCH_JSON=%s\n",
+                   json_path);
     }
   }
   return 0;

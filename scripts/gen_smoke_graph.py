@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Writes smoke.edges: the deterministic d-regular-ish smoke graph the CI
+sanitizer jobs feed to deltacol_cli (random matching sweeps, seed 4)."""
+import random
+
+random.seed(4)
+n, d = 600, 6
+edges = set()
+for _ in range(d):
+    perm = list(range(n))
+    random.shuffle(perm)
+    for i in range(0, n - 1, 2):
+        a, b = perm[i], perm[i + 1]
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+with open("smoke.edges", "w") as f:
+    f.write(f"{n} {len(edges)}\n")
+    for a, b in sorted(edges):
+        f.write(f"{a} {b}\n")

@@ -63,7 +63,7 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
   const int delta = ctx.delta;
 
   const NetworkDecomposition nd = random_shift_decomposition(
-      g, 0.25, ctx.rng, ctx.ledger, "ps/decomposition");
+      g, 0.25, ctx.rng, ctx.ledger, "ps/decomposition", ctx.pool);
 
   const int rho = brooks_search_radius(n, delta);
   const int R = 2 * rho + 2;
@@ -76,7 +76,7 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
 
   const int z =
       (R - 1) * ruling_set_cover_radius(n, RulingSetEngine::kDeterministic);
-  const Layering layering = build_layers(g, base, z);
+  const Layering layering = build_layers(g, base, z, ctx.pool);
   ctx.ledger.charge(layering.num_layers, "ps/layering");
   ctx.stats.num_b_layers += layering.num_layers;
   for (int v = 0; v < n; ++v) {

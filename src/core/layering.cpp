@@ -1,9 +1,9 @@
 #include "core/layering.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "coloring/list_coloring.h"
+#include "graph/frontier_bfs.h"
 #include "graph/ops.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
@@ -12,23 +12,20 @@ namespace deltacol {
 
 namespace {
 
-Layering layers_from_distances(const std::vector<int>& dist, int max_depth) {
+// Materializes a Layering from the engine's level slices. Members of each
+// layer are sorted by id (the contract downstream phases and the golden
+// round counts were built against).
+Layering layering_from_scratch(const BfsScratch& scratch, int n) {
   Layering out;
-  out.layer.assign(dist.size(), kNoLayer);
-  int max_layer = -1;
-  for (std::size_t v = 0; v < dist.size(); ++v) {
-    if (dist[v] < 0) continue;
-    if (max_depth >= 0 && dist[v] > max_depth) continue;
-    out.layer[v] = dist[v];
-    max_layer = std::max(max_layer, dist[v]);
-  }
-  out.num_layers = max_layer + 1;
+  out.layer.assign(static_cast<std::size_t>(n), kNoLayer);
+  out.num_layers = scratch.num_levels();
   out.members.resize(static_cast<std::size_t>(out.num_layers));
-  for (std::size_t v = 0; v < out.layer.size(); ++v) {
-    if (out.layer[v] != kNoLayer) {
-      out.members[static_cast<std::size_t>(out.layer[v])].push_back(
-          static_cast<int>(v));
-    }
+  for (int l = 0; l < out.num_layers; ++l) {
+    const auto lv = scratch.level(l);
+    auto& slot = out.members[static_cast<std::size_t>(l)];
+    slot.assign(lv.begin(), lv.end());
+    std::sort(slot.begin(), slot.end());
+    for (int v : slot) out.layer[static_cast<std::size_t>(v)] = l;
   }
   return out;
 }
@@ -36,38 +33,33 @@ Layering layers_from_distances(const std::vector<int>& dist, int max_depth) {
 }  // namespace
 
 Layering build_layers(const Graph& g, const std::vector<int>& base,
-                      int max_depth) {
-  std::vector<bool> all(static_cast<std::size_t>(g.num_vertices()), true);
-  return build_layers_restricted(g, base, max_depth, all);
+                      int max_depth, ThreadPool* pool) {
+  for (int s : base) {
+    DC_REQUIRE(0 <= s && s < g.num_vertices(), "base vertex out of range");
+  }
+  BfsScratch scratch;
+  FrontierBfs engine(pool);
+  engine.run_multi(g, scratch, base, max_depth);
+  return layering_from_scratch(scratch, g.num_vertices());
 }
 
 Layering build_layers_restricted(const Graph& g, const std::vector<int>& base,
                                  int max_depth,
-                                 const std::vector<bool>& allowed) {
+                                 const std::vector<bool>& allowed,
+                                 ThreadPool* pool) {
   DC_REQUIRE(allowed.size() == static_cast<std::size_t>(g.num_vertices()),
              "allowed mask size mismatch");
-  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
-  std::queue<int> q;
   for (int s : base) {
     DC_REQUIRE(0 <= s && s < g.num_vertices(), "base vertex out of range");
     DC_REQUIRE(allowed[static_cast<std::size_t>(s)],
                "base vertex excluded by the restriction mask");
-    if (dist[static_cast<std::size_t>(s)] == 0) continue;
-    dist[static_cast<std::size_t>(s)] = 0;
-    q.push(s);
   }
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    if (max_depth >= 0 && dist[static_cast<std::size_t>(u)] >= max_depth) continue;
-    for (int w : g.neighbors(u)) {
-      if (dist[static_cast<std::size_t>(w)] != -1) continue;
-      if (!allowed[static_cast<std::size_t>(w)]) continue;
-      dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
-      q.push(w);
-    }
-  }
-  return layers_from_distances(dist, max_depth);
+  BfsScratch scratch;
+  FrontierBfs engine(pool);
+  engine.run_multi_filtered(g, scratch, base, max_depth, [&](int v) {
+    return allowed[static_cast<std::size_t>(v)];
+  });
+  return layering_from_scratch(scratch, g.num_vertices());
 }
 
 void color_vertex_set_as_list_instance(const Graph& g,

@@ -20,6 +20,7 @@
 #include "coloring/degree_choosable.h"
 #include "dcc/dcc.h"
 #include "graph/components.h"
+#include "graph/frontier_bfs.h"
 #include "graph/ops.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
@@ -52,22 +53,35 @@ MarkingOutcome marking_process(const Graph& g, const std::vector<bool>& in_h,
   std::vector<bool> is_selected0(static_cast<std::size_t>(n), false);
   for (int v : selected0) is_selected0[static_cast<std::size_t>(v)] = true;
 
-  auto in_h_only = [&](int u) { return in_h[static_cast<std::size_t>(u)]; };
   // Back-off test: a pure read of the frozen selection (the b-radius ball
-  // scans are the expensive part), so it runs as a parallel-for; the
+  // scans are the expensive part), so it fans out over the pool; the
   // Rng-consuming mark placement below stays serial in selection order, so
-  // the stream is identical for every thread count.
+  // the stream is identical for every thread count. Each chunk reuses one
+  // epoch-stamped scratch across its balls and the H-membership predicate
+  // inlines (no per-edge indirect call).
   const int num_selected = static_cast<int>(selected0.size());
   std::vector<char> lonely_flags(selected0.size(), 1);
-  pooled_for(pool, 0, num_selected, [&](int i) {
-    const int v = selected0[static_cast<std::size_t>(i)];
-    for (int u : ball_filtered(g, v, b, in_h_only)) {
-      if (u != v && is_selected0[static_cast<std::size_t>(u)]) {
-        lonely_flags[static_cast<std::size_t>(i)] = 0;
-        return;
-      }
-    }
-  });
+  // Chunk cap = one per executor: each chunk allocates O(n) scratch, so
+  // more chunks than executors would only multiply that cost.
+  pooled_ranges(
+      pool, 0, num_selected,
+      [&](int /*chunk*/, int lo, int hi) {
+        BfsScratch scratch;
+        FrontierBfs engine;
+        for (int i = lo; i < hi; ++i) {
+          const int v = selected0[static_cast<std::size_t>(i)];
+          engine.run_filtered(g, scratch, v, b, [&](int u) {
+            return in_h[static_cast<std::size_t>(u)];
+          });
+          for (int u : scratch.order()) {
+            if (u != v && is_selected0[static_cast<std::size_t>(u)]) {
+              lonely_flags[static_cast<std::size_t>(i)] = 0;
+              break;
+            }
+          }
+        }
+      },
+      pool != nullptr ? pool->num_threads() : 1);
   MarkingOutcome out;
   for (int i = 0; i < num_selected; ++i) {
     const int v = selected0[static_cast<std::size_t>(i)];
@@ -156,7 +170,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   Layering b_layers;
   std::vector<bool> in_h(static_cast<std::size_t>(n), true);
   if (!base.empty()) {
-    b_layers = build_layers(g, base, s);
+    b_layers = build_layers(g, base, s, ctx.pool);
     ctx.ledger.charge(s, "rand/3-b-layers");
     for (int v = 0; v < n; ++v) {
       if (b_layers.layer[static_cast<std::size_t>(v)] != kNoLayer) {
@@ -205,28 +219,15 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
     }
   }
   // Colored (marked) nodes within distance r of the boundary uncolor
-  // themselves (distances measured in H).
+  // themselves (distances measured in H): a frontier BFS restricted to H.
   if (!boundary.empty()) {
-    std::vector<int> dist_h(static_cast<std::size_t>(n), -1);
-    {
-      std::vector<int> q = boundary;
-      for (int v : q) dist_h[static_cast<std::size_t>(v)] = 0;
-      for (std::size_t head = 0; head < q.size(); ++head) {
-        const int u = q[head];
-        if (dist_h[static_cast<std::size_t>(u)] >= r) continue;
-        for (int w : g.neighbors(u)) {
-          if (!in_h[static_cast<std::size_t>(w)]) continue;
-          if (dist_h[static_cast<std::size_t>(w)] != -1) continue;
-          dist_h[static_cast<std::size_t>(w)] =
-              dist_h[static_cast<std::size_t>(u)] + 1;
-          q.push_back(w);
-        }
-      }
-    }
+    BfsScratch scratch;
+    FrontierBfs engine(ctx.pool);
+    engine.run_multi_filtered(g, scratch, boundary, r, [&](int w) {
+      return in_h[static_cast<std::size_t>(w)];
+    });
     for (int m : marking.marked) {
-      if (dist_h[static_cast<std::size_t>(m)] != -1) {
-        c[static_cast<std::size_t>(m)] = kUncolored;
-      }
+      if (scratch.visited(m)) c[static_cast<std::size_t>(m)] = kUncolored;
     }
   }
   // Recompute surviving T-nodes: still two neighbors colored with color 0.
@@ -261,7 +262,8 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   Layering c_layers;
   std::vector<bool> in_c(static_cast<std::size_t>(n), false);
   if (!anchors.empty()) {
-    c_layers = build_layers_restricted(g, anchors, 2 * r, uncolored_h);
+    c_layers = build_layers_restricted(g, anchors, 2 * r, uncolored_h,
+                                       ctx.pool);
     for (int v = 0; v < n; ++v) {
       if (c_layers.layer[static_cast<std::size_t>(v)] != kNoLayer) {
         in_c[static_cast<std::size_t>(v)] = true;

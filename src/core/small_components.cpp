@@ -171,7 +171,7 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
   // D-layers by distance to the anchors; a connected component is always
   // exhausted (Lemma 26 bounds the layer count, which we record implicitly
   // through the charges below).
-  const Layering d_layers = build_layers(comp, anchors, -1);
+  const Layering d_layers = build_layers(comp, anchors, -1, ctx.pool);
   ctx.ledger.charge(d_layers.num_layers, "small/d-layers");
   for (int v = 0; v < nc; ++v) {
     DC_ENSURE(d_layers.layer[static_cast<std::size_t>(v)] != kNoLayer,

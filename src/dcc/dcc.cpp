@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/components.h"
+#include "graph/frontier_bfs.h"
 #include "graph/structure.h"
 #include "graph/traversal.h"
 #include "runtime/thread_pool.h"
@@ -142,49 +143,40 @@ DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
   // DCC indices are identical for every thread count.
   std::vector<std::vector<int>> best_sets(static_cast<std::size_t>(n));
   auto analyze_range = [&](int /*chunk*/, int lo, int hi) {
-    // Reusable per-chunk scratch: allocating an O(n) vertex map per ball
-    // would dominate the runtime at simulation scale.
-    std::vector<int> scratch_local(static_cast<std::size_t>(n), -1);
-    std::vector<int> ball_dist(static_cast<std::size_t>(n), -1);
-    std::vector<int> ball_vertices;
+    // Reusable per-chunk scratch: one epoch-stamped visitation state for
+    // the r-balls (O(n), amortized over the chunk's balls), one for the
+    // within-ball distance sweep, and one local-id map — allocating any of
+    // these per ball would dominate the runtime at simulation scale.
+    BfsScratch ball_scratch;
+    BfsScratch sub_scratch;
+    FrontierBfs engine;  // serial: the parallelism is across balls
+    std::vector<int> local_index(static_cast<std::size_t>(n), -1);
     std::vector<Edge> ball_edges;
 
     for (int v = lo; v < hi; ++v) {
-      // Truncated BFS collecting the ball.
-      ball_vertices.clear();
+      // Truncated frontier BFS collecting the ball, in discovery order.
+      engine.run(g, ball_scratch, v, r);
+      const auto ball_vertices = ball_scratch.order();
       ball_edges.clear();
-      ball_vertices.push_back(v);
-      ball_dist[static_cast<std::size_t>(v)] = 0;
-      for (std::size_t head = 0; head < ball_vertices.size(); ++head) {
-        const int u = ball_vertices[head];
-        if (ball_dist[static_cast<std::size_t>(u)] >= r) continue;
-        for (int w : g.neighbors(u)) {
-          if (ball_dist[static_cast<std::size_t>(w)] == -1) {
-            ball_dist[static_cast<std::size_t>(w)] =
-                ball_dist[static_cast<std::size_t>(u)] + 1;
-            ball_vertices.push_back(w);
-          }
-        }
-      }
       for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
-        scratch_local[static_cast<std::size_t>(
+        local_index[static_cast<std::size_t>(
             ball_vertices[static_cast<std::size_t>(i)])] = i;
       }
       for (int i = 0; i < static_cast<int>(ball_vertices.size()); ++i) {
         const int u = ball_vertices[static_cast<std::size_t>(i)];
         for (int w : g.neighbors(u)) {
-          const int j = scratch_local[static_cast<std::size_t>(w)];
+          const int j = local_index[static_cast<std::size_t>(w)];
           if (j > i) ball_edges.emplace_back(i, j);
         }
       }
       Subgraph sub;
       sub.graph = Graph::from_edges(static_cast<int>(ball_vertices.size()),
                                     ball_edges);
-      sub.to_parent = ball_vertices;
-      // Reset scratch before any early exit below.
+      sub.to_parent.assign(ball_vertices.begin(), ball_vertices.end());
+      // Reset the id map before any early exit below (the BFS scratches
+      // reset themselves by epoch).
       for (int u : ball_vertices) {
-        scratch_local[static_cast<std::size_t>(u)] = -1;
-        ball_dist[static_cast<std::size_t>(u)] = -1;
+        local_index[static_cast<std::size_t>(u)] = -1;
       }
 
       const auto local_blocks = dcc_blocks(sub.graph);
@@ -193,7 +185,7 @@ DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
       // Pick the block nearest to v (distance 0 if v belongs to one); ties
       // by lexicographically smallest parent-id vertex set for determinism.
       const int v_local = 0;  // v is the BFS root of its own ball
-      const auto dist = bfs_distances(sub.graph, v_local);
+      engine.run(sub.graph, sub_scratch, v_local);
       int best_dist = -1;
       const std::vector<int>* best_block = nullptr;
       std::vector<int> best_key;
@@ -202,8 +194,8 @@ DccDetection detect_dccs(const Graph& g, int r, RoundLedger& ledger,
         std::vector<int> key;
         key.reserve(block.size());
         for (int x : block) {
-          if (dist[static_cast<std::size_t>(x)] != kUnreachable) {
-            d = std::min(d, dist[static_cast<std::size_t>(x)]);
+          if (sub_scratch.visited(x)) {
+            d = std::min(d, sub_scratch.dist(x));
           }
           key.push_back(sub.to_parent[static_cast<std::size_t>(x)]);
         }

@@ -8,7 +8,9 @@
 #include "coloring/coloring.h"
 #include "coloring/list_coloring.h"
 #include "coloring/linial.h"
+#include "graph/frontier_bfs.h"
 #include "graph/traversal.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -92,7 +94,8 @@ Graph build_cluster_graph(const Graph& g, const std::vector<int>& cluster,
 
 NetworkDecomposition random_shift_decomposition(const Graph& g, double beta,
                                                 Rng& rng, RoundLedger& ledger,
-                                                std::string_view phase) {
+                                                std::string_view phase,
+                                                ThreadPool* pool) {
   DC_REQUIRE(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
   const int n = g.num_vertices();
   DC_REQUIRE(n > 0, "decomposition of empty graph");
@@ -131,17 +134,41 @@ NetworkDecomposition random_shift_decomposition(const Graph& g, double beta,
   nd.cluster_color.assign(cc.begin(), cc.end());
   nd.num_colors = num_colors_used(cc);
 
-  // Weak diameter bookkeeping (measured, for reporting and tests).
+  // Weak diameter bookkeeping (measured, for reporting and tests): one
+  // full BFS per cluster, fanned out over the pool in indexed chunks. Each
+  // chunk reuses one epoch-stamped scratch across its sweeps and folds a
+  // chunk-local max; a max is order-free, so the result is thread-count
+  // independent.
+  const auto sets = nd.cluster_vertex_sets();
+  const int num_sets = static_cast<int>(sets.size());
+  // Chunk cap = one per executor: each chunk holds O(n) BFS scratch.
+  const int max_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const int num_chunks =
+      pool != nullptr ? pool->num_range_chunks(num_sets, max_chunks) : 1;
+  std::vector<int> chunk_max(static_cast<std::size_t>(num_chunks), 0);
+  pooled_ranges(
+      pool, 0, num_sets,
+      [&](int chunk, int lo, int hi) {
+        BfsScratch scratch;
+        FrontierBfs engine;
+        int best = 0;
+        for (int ci = lo; ci < hi; ++ci) {
+          const auto& set = sets[static_cast<std::size_t>(ci)];
+          if (set.empty()) continue;
+          engine.run(g, scratch, set.front());
+          for (int v : set) {
+            DC_ENSURE(scratch.visited(v),
+                      "cluster spans disconnected parts of G");
+            best = std::max(best, 2 * scratch.dist(v));
+          }
+        }
+        chunk_max[static_cast<std::size_t>(chunk)] = best;
+      },
+      max_chunks);
   nd.max_diameter = 0;
-  for (const auto& set : nd.cluster_vertex_sets()) {
-    if (set.empty()) continue;
-    const auto dist = bfs_distances(g, set.front());
-    for (int v : set) {
-      DC_ENSURE(dist[static_cast<std::size_t>(v)] != kUnreachable,
-                "cluster spans disconnected parts of G");
-      nd.max_diameter =
-          std::max(nd.max_diameter, 2 * dist[static_cast<std::size_t>(v)]);
-    }
+  for (int c = 0; c < num_chunks; ++c) {
+    nd.max_diameter =
+        std::max(nd.max_diameter, chunk_max[static_cast<std::size_t>(c)]);
   }
   return nd;
 }

@@ -20,6 +20,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 struct NetworkDecomposition {
   std::vector<int> cluster;        // cluster id per vertex, dense in [0, k)
   std::vector<int> cluster_color;  // proper color per cluster id
@@ -32,9 +34,12 @@ struct NetworkDecomposition {
 
 // Random-shift (C, D) decomposition with D = O(log n) w.h.p. `beta` is the
 // exponential rate; smaller beta means larger clusters and fewer colors.
+// The pool (optional) parallelizes the per-cluster weak-diameter sweeps;
+// the decomposition is bit-identical for every thread count.
 NetworkDecomposition random_shift_decomposition(const Graph& g, double beta,
                                                 Rng& rng, RoundLedger& ledger,
-                                                std::string_view phase);
+                                                std::string_view phase,
+                                                ThreadPool* pool = nullptr);
 
 // Cluster graph: one vertex per cluster, edge when two clusters touch.
 Graph build_cluster_graph(const Graph& g, const std::vector<int>& cluster,

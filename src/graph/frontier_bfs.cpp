@@ -1,0 +1,46 @@
+#include "graph/frontier_bfs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+std::vector<int> dense_distances(const BfsScratch& s, int n, int unreachable) {
+  std::vector<int> dist(static_cast<std::size_t>(n), unreachable);
+  for (int v : s.order()) dist[static_cast<std::size_t>(v)] = s.dist(v);
+  return dist;
+}
+
+int min_eccentricity(const Graph& g, ThreadPool* pool) {
+  const int n = g.num_vertices();
+  DC_REQUIRE(n > 0, "radius of empty graph");
+  // Chunk cap = one per executor: each chunk holds O(n) BFS scratch.
+  const int max_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const int num_chunks =
+      pool != nullptr ? pool->num_range_chunks(n, max_chunks) : 1;
+  std::vector<int> chunk_min(static_cast<std::size_t>(num_chunks), n);
+  pooled_ranges(
+      pool, 0, n,
+      [&](int chunk, int lo, int hi) {
+        // One scratch per chunk, amortized over the chunk's eccentricity
+        // sweeps; the sweeps themselves run serially — the parallelism is
+        // the fan-out across source vertices.
+        BfsScratch scratch;
+        FrontierBfs engine;
+        int best = n;
+        for (int v = lo; v < hi; ++v) {
+          engine.run(g, scratch, v);
+          best = std::min(best, scratch.num_levels() - 1);
+        }
+        chunk_min[static_cast<std::size_t>(chunk)] = best;
+      },
+      max_chunks);
+  int radius = n;
+  for (int c = 0; c < num_chunks; ++c) {
+    radius = std::min(radius, chunk_min[static_cast<std::size_t>(c)]);
+  }
+  return radius;
+}
+
+}  // namespace deltacol

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "graph/traversal.h"
+#include "graph/frontier_bfs.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -45,16 +46,41 @@ Subgraph remove_vertices(const Graph& g, std::span<const int> removed) {
   return induced_subgraph(g, keep);
 }
 
-Graph power_graph(const Graph& g, int k) {
+Graph power_graph(const Graph& g, int k, ThreadPool* pool) {
   DC_REQUIRE(k >= 1, "power graph exponent must be >= 1");
+  const int n = g.num_vertices();
+  // One truncated BFS per vertex, chunked over the pool; each chunk reuses
+  // one scratch and collects edges into its own fragment, concatenated in
+  // chunk order (from_edges normalizes, so any chunking yields the same
+  // graph).
+  // Chunk cap = one per executor: each chunk holds O(n) BFS scratch.
+  const int max_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const int num_chunks =
+      pool != nullptr ? pool->num_range_chunks(n, max_chunks) : 1;
+  std::vector<std::vector<Edge>> chunk_edges(
+      static_cast<std::size_t>(num_chunks));
+  pooled_ranges(
+      pool, 0, n,
+      [&](int chunk, int lo, int hi) {
+        BfsScratch scratch;
+        FrontierBfs engine;
+        auto& edges = chunk_edges[static_cast<std::size_t>(chunk)];
+        for (int v = lo; v < hi; ++v) {
+          engine.run(g, scratch, v, k);
+          for (int u : scratch.order()) {
+            if (u > v) edges.emplace_back(v, u);
+          }
+        }
+      },
+      max_chunks);
   std::vector<Edge> edges;
-  for (int v = 0; v < g.num_vertices(); ++v) {
-    const auto dist = bfs_distances(g, v, k);
-    for (int u = v + 1; u < g.num_vertices(); ++u) {
-      if (dist[u] != kUnreachable) edges.emplace_back(v, u);
-    }
+  std::size_t total = 0;
+  for (const auto& ce : chunk_edges) total += ce.size();
+  edges.reserve(total);
+  for (const auto& ce : chunk_edges) {
+    edges.insert(edges.end(), ce.begin(), ce.end());
   }
-  return Graph::from_edges(g.num_vertices(), edges);
+  return Graph::from_edges(n, edges);
 }
 
 Graph disjoint_union(const Graph& a, const Graph& b) {

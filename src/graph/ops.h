@@ -10,6 +10,8 @@
 
 namespace deltacol {
 
+class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+
 // An induced subgraph together with the mapping between its dense vertex ids
 // and the parent graph's ids.
 struct Subgraph {
@@ -28,8 +30,10 @@ inline Subgraph induced_subgraph(const Graph& g, const std::vector<int>& v) {
 Subgraph remove_vertices(const Graph& g, std::span<const int> removed);
 
 // The k-th power: u ~ v iff 1 <= dist_G(u, v) <= k. Computed by truncated
-// BFS from every vertex; fine for simulation-scale graphs.
-Graph power_graph(const Graph& g, int k);
+// frontier BFS from every vertex, fanned out over the pool when one is
+// attached (per-chunk scratch reuse; the result is thread-count
+// independent).
+Graph power_graph(const Graph& g, int k, ThreadPool* pool = nullptr);
 
 // Disjoint union of two graphs (vertices of b are shifted by a.num_vertices()).
 Graph disjoint_union(const Graph& a, const Graph& b);

@@ -1,131 +1,82 @@
 #include "graph/traversal.h"
 
 #include <algorithm>
-#include <queue>
 
+#include "graph/frontier_bfs.h"
 #include "util/check.h"
 
 namespace deltacol {
 
 std::vector<int> bfs_distances(const Graph& g, int source, int max_dist) {
   DC_REQUIRE(0 <= source && source < g.num_vertices(), "source out of range");
-  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), kUnreachable);
-  std::queue<int> q;
-  dist[source] = 0;
-  q.push(source);
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    if (max_dist >= 0 && dist[u] >= max_dist) continue;
-    for (int w : g.neighbors(u)) {
-      if (dist[w] == kUnreachable) {
-        dist[w] = dist[u] + 1;
-        q.push(w);
-      }
-    }
-  }
-  return dist;
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run(g, scratch, source, max_dist);
+  return dense_distances(scratch, g.num_vertices(), kUnreachable);
 }
 
 MultiSourceBfs multi_source_bfs(const Graph& g, const std::vector<int>& sources,
                                 int max_dist) {
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run_multi_labeled(g, scratch, sources, max_dist);
   MultiSourceBfs out;
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   out.dist.assign(n, kUnreachable);
   out.source.assign(n, -1);
-  // Seed in increasing id order so FIFO order resolves distance ties toward
-  // the smaller source id deterministically.
-  std::vector<int> seeds = sources;
-  std::sort(seeds.begin(), seeds.end());
-  std::queue<int> q;
-  for (int s : seeds) {
-    DC_REQUIRE(0 <= s && s < g.num_vertices(), "source out of range");
-    if (out.dist[s] == 0) continue;  // duplicate source
-    out.dist[s] = 0;
-    out.source[s] = s;
-    q.push(s);
-  }
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    if (max_dist >= 0 && out.dist[u] >= max_dist) continue;
-    for (int w : g.neighbors(u)) {
-      if (out.dist[w] == kUnreachable) {
-        out.dist[w] = out.dist[u] + 1;
-        out.source[w] = out.source[u];
-        q.push(w);
-      } else if (out.dist[w] == out.dist[u] + 1 &&
-                 out.source[u] < out.source[w]) {
-        // Equal distance through a smaller-id source: prefer it. Because the
-        // queue is FIFO and seeds were pushed in id order this can only
-        // tighten assignments before w is expanded.
-        out.source[w] = out.source[u];
-      }
-    }
+  for (int v : scratch.order()) {
+    out.dist[static_cast<std::size_t>(v)] = scratch.dist(v);
+    out.source[static_cast<std::size_t>(v)] = scratch.source_of(v);
   }
   return out;
 }
 
 std::vector<int> ball(const Graph& g, int v, int r) {
-  std::vector<int> out;
-  const auto dist = bfs_distances(g, v, r);
-  for (int u = 0; u < g.num_vertices(); ++u) {
-    if (dist[u] != kUnreachable) out.push_back(u);
-  }
+  DC_REQUIRE(0 <= v && v < g.num_vertices(), "source out of range");
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run(g, scratch, v, r);
+  std::vector<int> out(scratch.order().begin(), scratch.order().end());
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<int> ball_filtered(const Graph& g, int v, int r,
                                const std::function<bool(int)>& allowed) {
   DC_REQUIRE(0 <= v && v < g.num_vertices(), "source out of range");
-  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), kUnreachable);
-  std::vector<int> out;
-  std::queue<int> q;
-  dist[v] = 0;
-  out.push_back(v);
-  q.push(v);
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    if (dist[u] >= r) continue;
-    for (int w : g.neighbors(u)) {
-      if (dist[w] == kUnreachable && allowed(w)) {
-        dist[w] = dist[u] + 1;
-        out.push_back(w);
-        q.push(w);
-      }
-    }
-  }
-  return out;
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run_filtered(g, scratch, v, r, [&](int u) { return allowed(u); });
+  return {scratch.order().begin(), scratch.order().end()};
 }
 
 std::vector<std::vector<int>> bfs_layers(const Graph& g, int v, int r) {
-  const auto dist = bfs_distances(g, v, r);
+  DC_REQUIRE(0 <= v && v < g.num_vertices(), "source out of range");
+  if (r < 0) return {};
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run(g, scratch, v, r);
+  // r+1 slots even when the BFS exhausts earlier, matching the classic API.
   std::vector<std::vector<int>> layers(static_cast<std::size_t>(r) + 1);
-  for (int u = 0; u < g.num_vertices(); ++u) {
-    if (dist[u] != kUnreachable && dist[u] <= r) {
-      layers[static_cast<std::size_t>(dist[u])].push_back(u);
-    }
+  for (int t = 0; t < scratch.num_levels(); ++t) {
+    const auto lv = scratch.level(t);
+    auto& slot = layers[static_cast<std::size_t>(t)];
+    slot.assign(lv.begin(), lv.end());
+    std::sort(slot.begin(), slot.end());
   }
   return layers;
 }
 
 int eccentricity(const Graph& g, int v) {
-  const auto dist = bfs_distances(g, v);
-  int ecc = 0;
-  for (int d : dist) {
-    if (d != kUnreachable) ecc = std::max(ecc, d);
-  }
-  return ecc;
+  DC_REQUIRE(0 <= v && v < g.num_vertices(), "source out of range");
+  BfsScratch scratch;
+  FrontierBfs engine;
+  engine.run(g, scratch, v);
+  return scratch.num_levels() - 1;
 }
 
-int graph_radius(const Graph& g) {
-  DC_REQUIRE(g.num_vertices() > 0, "radius of empty graph");
-  int radius = g.num_vertices();
-  for (int v = 0; v < g.num_vertices(); ++v) {
-    radius = std::min(radius, eccentricity(g, v));
-  }
-  return radius;
+int graph_radius(const Graph& g, ThreadPool* pool) {
+  return min_eccentricity(g, pool);
 }
 
 }  // namespace deltacol

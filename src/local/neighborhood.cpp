@@ -1,6 +1,5 @@
 #include "local/neighborhood.h"
 
-#include "graph/traversal.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -11,10 +10,12 @@ void NeighborhoodOracle::begin_gather(int radius, std::string_view phase) {
   gathered_radius_ = radius;
 }
 
-Subgraph NeighborhoodOracle::ball_subgraph(int v, int r) const {
+Subgraph NeighborhoodOracle::ball_subgraph(int v, int r) {
   DC_REQUIRE(r <= gathered_radius_,
              "ball radius exceeds the last gathered radius; call begin_gather");
-  return induced_subgraph(graph_, ball(graph_, v, r));
+  FrontierBfs engine;
+  engine.run(graph_, scratch_, v, r);
+  return induced_subgraph(graph_, scratch_.order());
 }
 
 }  // namespace deltacol

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "graph/frontier_bfs.h"
 #include "graph/graph.h"
 #include "graph/ops.h"
 #include "local/round_ledger.h"
@@ -27,8 +28,11 @@ class NeighborhoodOracle {
   void begin_gather(int radius, std::string_view phase);
 
   // The induced subgraph on the r-ball around v. Requires a preceding
-  // begin_gather with radius >= r.
-  Subgraph ball_subgraph(int v, int r) const;
+  // begin_gather with radius >= r. The ball BFS reuses one epoch-stamped
+  // scratch across calls (O(ball) per query, not O(n)); the method is
+  // deliberately non-const so one oracle cannot be shared across threads —
+  // give each thread its own oracle.
+  Subgraph ball_subgraph(int v, int r);
 
   const Graph& graph() const { return graph_; }
 
@@ -36,6 +40,7 @@ class NeighborhoodOracle {
   const Graph& graph_;
   RoundLedger& ledger_;
   int gathered_radius_ = -1;
+  BfsScratch scratch_;  // query cache, see ball_subgraph
 };
 
 }  // namespace deltacol

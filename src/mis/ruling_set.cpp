@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "coloring/linial.h"
+#include "graph/frontier_bfs.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -13,24 +15,47 @@ namespace deltacol {
 namespace {
 
 // Auxiliary graph on `subset`: u ~ v iff dist_G(u, v) <= alpha - 1.
-// Built by truncated BFS from each subset vertex.
+// Built by truncated frontier BFS from each subset vertex; the sweeps fan
+// out over the pool in indexed chunks (each reusing one scratch), and the
+// per-chunk edge fragments are concatenated in chunk order — from_edges
+// normalizes anyway, so the graph is identical for every thread count.
 Graph auxiliary_graph(const Graph& g, const std::vector<int>& subset,
-                      int alpha) {
+                      int alpha, ThreadPool* pool) {
   std::vector<int> local_id(static_cast<std::size_t>(g.num_vertices()), -1);
   for (int i = 0; i < static_cast<int>(subset.size()); ++i) {
     local_id[static_cast<std::size_t>(subset[static_cast<std::size_t>(i)])] = i;
   }
+  const int k = static_cast<int>(subset.size());
+  // Chunk cap = one per executor: each chunk holds O(n) BFS scratch.
+  const int max_chunks = pool != nullptr ? pool->num_threads() : 1;
+  const int num_chunks =
+      pool != nullptr ? pool->num_range_chunks(k, max_chunks) : 1;
+  std::vector<std::vector<Edge>> chunk_edges(
+      static_cast<std::size_t>(num_chunks));
+  pooled_ranges(
+      pool, 0, k,
+      [&](int chunk, int lo, int hi) {
+        BfsScratch scratch;
+        FrontierBfs engine;
+        auto& edges = chunk_edges[static_cast<std::size_t>(chunk)];
+        for (int i = lo; i < hi; ++i) {
+          engine.run(g, scratch, subset[static_cast<std::size_t>(i)],
+                     alpha - 1);
+          for (int v : scratch.order()) {
+            const int j = local_id[static_cast<std::size_t>(v)];
+            if (j > i) edges.emplace_back(i, j);
+          }
+        }
+      },
+      max_chunks);
   std::vector<Edge> edges;
-  for (int i = 0; i < static_cast<int>(subset.size()); ++i) {
-    const int s = subset[static_cast<std::size_t>(i)];
-    const auto dist = bfs_distances(g, s, alpha - 1);
-    for (int v = 0; v < g.num_vertices(); ++v) {
-      if (dist[v] == kUnreachable) continue;
-      const int j = local_id[static_cast<std::size_t>(v)];
-      if (j > i) edges.emplace_back(i, j);
-    }
+  std::size_t total = 0;
+  for (const auto& ce : chunk_edges) total += ce.size();
+  edges.reserve(total);
+  for (const auto& ce : chunk_edges) {
+    edges.insert(edges.end(), ce.begin(), ce.end());
   }
-  return Graph::from_edges(static_cast<int>(subset.size()), edges);
+  return Graph::from_edges(k, edges);
 }
 
 // Bitwise divide-and-conquer independent set with covering radius <= #bits
@@ -89,13 +114,14 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
     std::vector<int> sorted = subset;
     std::sort(sorted.begin(), sorted.end());
     std::vector<int> out;
+    std::vector<int> q;  // relaxation queue, reused across picks
     for (int v : sorted) {
       if (dist_to_chosen[static_cast<std::size_t>(v)] != -1) continue;
       out.push_back(v);
       // Truncated BFS marking everything within alpha-1 of v. Labels from
       // earlier picks must be RELAXED when v is closer, or the frontier
       // would be cut early and a too-close vertex could be picked later.
-      std::vector<int> q{v};
+      q.assign(1, v);
       dist_to_chosen[static_cast<std::size_t>(v)] = 0;
       for (std::size_t head = 0; head < q.size(); ++head) {
         const int u = q[head];
@@ -118,7 +144,7 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
     return out;
   }
 
-  const Graph aux = auxiliary_graph(g, subset, alpha);
+  const Graph aux = auxiliary_graph(g, subset, alpha, pool);
   std::vector<bool> in_set;
   switch (engine) {
     case RulingSetEngine::kRandomized: {
@@ -169,12 +195,14 @@ int ruling_set_cover_radius(int subset_size, RulingSetEngine engine) {
 
 bool is_ruling_set(const Graph& g, const std::vector<int>& subset,
                    const std::vector<int>& ruling, int alpha, int beta) {
-  // Packing: pairwise distance >= alpha.
+  // Packing: pairwise distance >= alpha. One scratch serves every sweep.
+  BfsScratch scratch;
+  FrontierBfs engine;
   for (std::size_t i = 0; i < ruling.size(); ++i) {
-    const auto dist = bfs_distances(g, ruling[i], alpha - 1);
+    engine.run(g, scratch, ruling[i], alpha - 1);
     for (std::size_t j = 0; j < ruling.size(); ++j) {
       if (i == j) continue;
-      if (dist[static_cast<std::size_t>(ruling[j])] != kUnreachable) return false;
+      if (scratch.visited(ruling[j])) return false;
     }
   }
   // Membership and covering.
