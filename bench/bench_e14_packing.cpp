@@ -1,0 +1,115 @@
+// E14 — batch-parallel ruling-set packing (mis/packing.h; DESIGN.md §6).
+//
+// Measures the engine that removed the largest serial section of the E12
+// Amdahl curve: the greedy distance-alpha packing behind the deterministic
+// ruling-set engine (Lemma 20). Two series:
+//
+//  * E14_PackingReference — the literal serial greedy (the golden oracle),
+//    whose wall-clock is the baseline for `speedup_vs_ref`.
+//  * E14_PackingBatch — the round-based batch engine at threads ∈ {1, 2, 8}.
+//    Every row re-checks bit-identity against the reference (`identical`
+//    counter must be 1 on every row — the golden contract, cheap enough to
+//    assert per run). `picks` reports the packing size; `speedup_vs_ref`
+//    needs multi-core hardware to exceed ~1 (same caveat as E12/E13): at
+//    1 thread the batch engine degenerates to one candidate per round,
+//    reproducing the reference's work pattern, so ~1.0 is the expectation.
+//
+// Emission: wall-clock per row (both harnesses), BENCH_e14.json when
+// DELTACOL_BENCH_JSON is set under the minibench harness (schema in
+// bench/README.md), CSV via DELTACOL_CSV_DIR.
+#include <chrono>
+#include <map>
+
+#include "bench_common.h"
+#include "mis/packing.h"
+#include "runtime/thread_pool.h"
+
+namespace deltacol::bench {
+namespace {
+
+constexpr int kDegree = 8;
+constexpr int kAlpha = 3;
+
+const Graph& cached_regular(int n) {
+  static std::map<int, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, make_regular(n, kDegree, 77)).first;
+  }
+  return it->second;
+}
+
+std::vector<int> all_vertices(const Graph& g) {
+  std::vector<int> all(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  return all;
+}
+
+void e14_csv(benchmark::State& state, const std::string& family) {
+  std::map<std::string, double> row;
+  row["arg0"] = static_cast<double>(state.range(0));
+  for (const auto& [name, counter] : state.counters) {
+    row[name] = static_cast<double>(counter);
+  }
+  CsvSink::emit(family, row);
+}
+
+void E14_PackingReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph& g = cached_regular(n);
+  const auto subset = all_vertices(g);
+  std::size_t picks = 0;
+  for (auto _ : state) {
+    picks = greedy_alpha_packing_reference(g, subset, kAlpha).size();
+  }
+  benchmark::DoNotOptimize(picks);
+  state.counters["picks"] = static_cast<double>(picks);
+  e14_csv(state, "e14_packing_ref");
+}
+
+void E14_PackingBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const Graph& g = cached_regular(n);
+  const auto subset = all_vertices(g);
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    checksum += greedy_alpha_packing(g, subset, kAlpha, pool_ptr).size();
+  }
+  benchmark::DoNotOptimize(checksum);
+
+  // Self-contained speedup row: the reference is rerun and timed here (it
+  // is needed anyway for the identity check), so filtering or reordering
+  // the series cannot silently zero the counter.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = greedy_alpha_packing(g, subset, kAlpha, pool_ptr);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ref = greedy_alpha_packing_reference(g, subset, kAlpha);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double batch_secs = std::chrono::duration<double>(t1 - t0).count();
+  const double ref_secs = std::chrono::duration<double>(t2 - t1).count();
+  state.counters["threads"] = threads;
+  state.counters["picks"] = static_cast<double>(batch.size());
+  // The golden contract, re-asserted on every row.
+  state.counters["identical"] = batch == ref ? 1.0 : 0.0;
+  state.counters["speedup_vs_ref"] =
+      batch_secs > 0.0 ? ref_secs / batch_secs : 0.0;
+  e14_csv(state, "e14_packing_batch");
+}
+
+}  // namespace
+}  // namespace deltacol::bench
+
+BENCHMARK(deltacol::bench::E14_PackingReference)
+    ->ArgsProduct({{100000, 400000}})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(deltacol::bench::E14_PackingBatch)
+    ->ArgsProduct({{100000, 400000}, {1, 2, 8}})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);

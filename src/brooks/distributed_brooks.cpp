@@ -7,6 +7,7 @@
 #include "coloring/degree_choosable.h"
 #include "dcc/dcc.h"
 #include "graph/components.h"
+#include "graph/frontier_bfs.h"
 #include "graph/ops.h"
 #include "graph/traversal.h"
 #include "util/check.h"
@@ -78,33 +79,42 @@ std::vector<int> path_to_nearest(const Graph& g, int src, int max_r,
 }  // namespace
 
 BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
-                           int max_radius) {
+                           int max_radius, BfsScratch* scratch) {
   DC_REQUIRE(delta >= 3, "brooks_fix requires delta >= 3");
   DC_REQUIRE(c[static_cast<std::size_t>(v0)] == kUncolored,
              "v0 must be the uncolored node");
   BrooksFixResult res;
-  const Coloring before = c;
 
-  auto measure_radius = [&]() {
-    const auto dist = bfs_distances(g, v0);
-    int radius = 0;
-    for (int u = 0; u < g.num_vertices(); ++u) {
-      if (c[static_cast<std::size_t>(u)] != before[static_cast<std::size_t>(u)] &&
-          dist[static_cast<std::size_t>(u)] != kUnreachable) {
-        radius = std::max(radius, dist[static_cast<std::size_t>(u)]);
-      }
-    }
-    return radius;
-  };
-
-  // Fast path: free color at v0 itself.
+  // Fast path: free color at v0 itself — no ball query, no copy.
   if (const auto x = first_free_color(g, c, v0, delta)) {
     c[static_cast<std::size_t>(v0)] = *x;
     return res;
   }
 
+  const Coloring before = c;
+  // Epoch-stamped handle for the two whole-graph queries below; a
+  // caller-held scratch amortizes the O(n) state over a loop of fixes.
+  BfsScratch local_scratch;
+  BfsScratch& bs = scratch != nullptr ? *scratch : local_scratch;
+  FrontierBfs bfs_engine;  // serial: the walk stays serial (DESIGN.md §6)
+
+  auto measure_radius = [&]() {
+    bfs_engine.run(g, bs, v0);
+    int radius = 0;
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      if (c[static_cast<std::size_t>(u)] != before[static_cast<std::size_t>(u)] &&
+          bs.visited(u)) {
+        radius = std::max(radius, bs.dist(u));
+      }
+    }
+    return radius;
+  };
+
   // Gather the search ball once; all structure decisions are local to it.
-  const auto ball_sub = induced_subgraph(g, ball(g, v0, max_radius));
+  // induced_subgraph sorts its input, so passing the scratch's visit order
+  // directly yields the same subgraph the classic sorted ball() produced.
+  bfs_engine.run(g, bs, v0, max_radius);
+  const auto ball_sub = induced_subgraph(g, bs.order());
   const Graph& B = ball_sub.graph;
   const int v0_local = ball_sub.from_parent[static_cast<std::size_t>(v0)];
 

@@ -21,6 +21,8 @@
 
 namespace deltacol {
 
+class BfsScratch;  // graph/frontier_bfs.h
+
 struct BrooksFixResult {
   // Max distance from the initially uncolored node of any vertex whose color
   // was changed (the "recoloring radius" measured in experiment E7).
@@ -38,8 +40,15 @@ struct BrooksFixResult {
 // exactly at v0; delta >= max degree; delta >= 3; v0's component is not a
 // clique on delta+1 vertices. Post: c proper and complete, only vertices
 // within radius_used of v0 changed.
+//
+// The walk itself is serial by design (its emergency component-recolor path
+// may touch the whole component, see DESIGN.md §6), but the two whole-graph
+// ball queries — gathering the search ball and measuring the recoloring
+// radius — run through `scratch` when the caller passes one, so a loop of
+// fixes pays the O(n) visitation state once instead of per call. nullptr
+// falls back to a call-local scratch; results are identical either way.
 BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
-                           int max_radius);
+                           int max_radius, BfsScratch* scratch = nullptr);
 
 // The paper's bound 2 log_{Delta-1} n, rounded up, plus slack for the DCC
 // diameter; a safe default max_radius for brooks_fix.

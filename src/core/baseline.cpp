@@ -17,6 +17,7 @@
 #include "coloring/list_coloring.h"
 #include "core/internal.h"
 #include "decomp/network_decomposition.h"
+#include "graph/frontier_bfs.h"
 #include "graph/ops.h"
 #include "mis/mis.h"
 #include "mis/ruling_set.h"
@@ -89,8 +90,9 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
                             delta, nd, c, ctx.ledger, "ps/layer-coloring");
   }
 
+  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (int v : base) {
-    const auto fix = brooks_fix(g, c, v, delta, rho);
+    const auto fix = brooks_fix(g, c, v, delta, rho, &fix_scratch);
     ++ctx.stats.brooks_fixes;
     if (fix.used_component_recolor) {
       DC_ENSURE(!ctx.opt.strict, "strict mode: Brooks fix exceeded radius");
@@ -127,6 +129,7 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
             : wide[static_cast<std::size_t>(v)];
   }
   const int rho = brooks_search_radius(n, delta);
+  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (;;) {
     std::vector<int> overflow;
     for (int v = 0; v < n; ++v) {
@@ -139,7 +142,7 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
     DC_ENSURE(!batch.empty(), "scheduling MIS returned empty batch");
     for (int v : batch) {
       if (c[static_cast<std::size_t>(v)] != kUncolored) continue;  // side-colored
-      brooks_fix(g, c, v, delta, rho);
+      brooks_fix(g, c, v, delta, rho, &fix_scratch);
       ++ctx.stats.brooks_fixes;
     }
     ctx.ledger.charge(2 * rho + 1, "naive/brooks-fixes");

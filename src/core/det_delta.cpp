@@ -11,6 +11,7 @@
 
 #include "brooks/distributed_brooks.h"
 #include "core/internal.h"
+#include "graph/frontier_bfs.h"
 #include "mis/ruling_set.h"
 #include "util/check.h"
 
@@ -53,10 +54,11 @@ void run_deterministic(ComponentContext& ctx, Coloring& c) {
   // distinct B0 nodes are disjoint, so the fixes commute and all, in a real
   // network, run in the same 2*rho+1 rounds.
   int max_fix_radius = 0;
+  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (int v : base) {
     DC_ENSURE(c[static_cast<std::size_t>(v)] == kUncolored,
               "base vertex was colored by a layer instance");
-    const auto fix = brooks_fix(g, c, v, delta, rho);
+    const auto fix = brooks_fix(g, c, v, delta, rho, &fix_scratch);
     ++ctx.stats.brooks_fixes;
     if (fix.used_component_recolor) {
       // Emergency path (should not happen; see brooks_fix): charge

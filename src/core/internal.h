@@ -34,9 +34,17 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant);
 // dispatcher). Called on the dispatcher thread, in component-index order.
 void merge_component_stats(PhaseStats& into, const PhaseStats& from);
 
-// Section 4.3: color one leftover component (vertex list in ctx.g ids,
-// all currently uncolored) respecting the partial coloring in c.
-void color_small_component(ComponentContext& ctx, Coloring& c,
+// Section 4.3: color one leftover component (vertex list in ctx.g ids, all
+// currently uncolored) respecting the partial coloring in c. Returns true
+// on success. Returns false — having colored nothing — when the component
+// has neither a free node nor a DCC (the Lemma-27 fallback case, reachable
+// only under non-paper parameters): the caller must then run
+// repair_completion serially, because the repair may color outside the
+// component and so cannot run under the Phase-(6) fan-out. On the success
+// path the function writes only the component's own coloring slice, reads
+// only stable outside state, and draws only from ctx.rng — which is what
+// makes leftover components schedulable in parallel (DESIGN.md §6).
+bool color_small_component(ComponentContext& ctx, Coloring& c,
                            const std::vector<int>& component);
 
 // Repair path: greedily color any still-uncolored vertices, invoking the

@@ -24,6 +24,7 @@
 #include "graph/ops.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
+#include "runtime/component_scheduler.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -286,25 +287,62 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   if (!leftover.empty()) {
     const auto lsub = induced_subgraph(g, leftover);
     const auto comps = connected_components(lsub.graph).vertex_sets();
-    ctx.stats.leftover_components += static_cast<int>(comps.size());
-    // Components are colored in parallel: charge the max component cost.
-    std::int64_t max_rounds = 0;
-    for (const auto& comp : comps) {
+    const int num_comps = static_cast<int>(comps.size());
+    ctx.stats.leftover_components += num_comps;
+    // The leftover instances are disjoint and mutually non-adjacent, so they
+    // run concurrently on the pool under the usual determinism recipe
+    // (DESIGN.md §6): RNG streams pre-split here in index order, ledgers and
+    // stats index-private, each job writing only its component's coloring
+    // slice; the LOCAL cost is the max child total, exactly as the serial
+    // loop charged it.
+    std::vector<std::vector<int>> comp_parents(
+        static_cast<std::size_t>(num_comps));
+    std::vector<Rng> comp_rngs;
+    comp_rngs.reserve(comps.size());
+    for (int i = 0; i < num_comps; ++i) {
+      const auto& comp = comps[static_cast<std::size_t>(i)];
       ctx.stats.max_leftover_component = std::max(
           ctx.stats.max_leftover_component, static_cast<int>(comp.size()));
-      std::vector<int> comp_parent;
-      comp_parent.reserve(comp.size());
+      auto& parent_ids = comp_parents[static_cast<std::size_t>(i)];
+      parent_ids.reserve(comp.size());
       for (int x : comp) {
-        comp_parent.push_back(lsub.to_parent[static_cast<std::size_t>(x)]);
+        parent_ids.push_back(lsub.to_parent[static_cast<std::size_t>(x)]);
       }
-      RoundLedger child;
-      ComponentContext child_ctx{ctx.g,  ctx.delta, ctx.schedule,
-                                 ctx.schedule_colors, ctx.opt, ctx.rng,
-                                 child,  ctx.stats, ctx.pool};
-      color_small_component(child_ctx, c, comp_parent);
-      max_rounds = std::max(max_rounds, child.total());
+      comp_rngs.push_back(ctx.rng.split());
     }
+    std::vector<PhaseStats> comp_stats(static_cast<std::size_t>(num_comps));
+    std::vector<char> needs_repair(static_cast<std::size_t>(num_comps), 0);
+    const ComponentScheduler scheduler(ctx.pool);
+    const std::int64_t max_rounds = scheduler.run_max_total(
+        num_comps, [&](int i, RoundLedger& child) {
+          ComponentContext child_ctx{
+              ctx.g,
+              ctx.delta,
+              ctx.schedule,
+              ctx.schedule_colors,
+              ctx.opt,
+              comp_rngs[static_cast<std::size_t>(i)],
+              child,
+              comp_stats[static_cast<std::size_t>(i)],
+              ctx.pool};
+          if (!color_small_component(
+                  child_ctx, c,
+                  comp_parents[static_cast<std::size_t>(i)])) {
+            needs_repair[static_cast<std::size_t>(i)] = 1;
+          }
+        });
+    for (const auto& cs : comp_stats) merge_component_stats(ctx.stats, cs);
     ctx.ledger.charge(max_rounds, "rand/6-small-components");
+    // Deferred Lemma-27 fallback (see internal.h): the repair may color
+    // outside its component, so it runs serially after the barrier. One
+    // call colors every still-uncolored vertex, covering all flagged
+    // components at once.
+    for (char flagged : needs_repair) {
+      if (flagged != 0) {
+        repair_completion(ctx, c);
+        break;
+      }
+    }
   }
 
   // ---- Phase (7): color layers C2r..C0 ------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "brooks/distributed_brooks.h"
+#include "graph/frontier_bfs.h"
 #include "graph/structure.h"
 #include "util/check.h"
 
@@ -15,6 +16,7 @@ SlocalResult slocal_delta_coloring(const Graph& g) {
   SlocalResult res;
   res.coloring.assign(static_cast<std::size_t>(n), kUncolored);
   const int rho = brooks_search_radius(n, delta);
+  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (int v = 0; v < n; ++v) {
     if (const auto x = first_free_color(g, res.coloring, v, delta)) {
       res.coloring[static_cast<std::size_t>(v)] = *x;
@@ -25,7 +27,7 @@ SlocalResult slocal_delta_coloring(const Graph& g) {
     // token walk of Theorem 5 (possible because every vertex keeps, at its
     // own turn, either slack or a repairable neighborhood — exactly the
     // SLOCAL reading of the distributed Brooks' theorem).
-    const auto fix = brooks_fix(g, res.coloring, v, delta, rho);
+    const auto fix = brooks_fix(g, res.coloring, v, delta, rho, &fix_scratch);
     ++res.brooks_invocations;
     res.max_locality = std::max(res.max_locality, fix.radius_used + 1);
   }

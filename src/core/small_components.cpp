@@ -19,6 +19,7 @@
 #include "coloring/greedy.h"
 #include "core/internal.h"
 #include "dcc/dcc.h"
+#include "graph/frontier_bfs.h"
 #include "graph/ops.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
@@ -75,13 +76,14 @@ void repair_completion(ComponentContext& ctx, Coloring& c) {
   DC_REQUIRE(!ctx.opt.strict, "strict mode: repair_completion invoked");
   const Graph& g = ctx.g;
   const int rho = brooks_search_radius(g.num_vertices(), ctx.delta);
+  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (int v = 0; v < g.num_vertices(); ++v) {
     if (c[static_cast<std::size_t>(v)] != kUncolored) continue;
     if (const auto x = first_free_color(g, c, v, ctx.delta)) {
       c[static_cast<std::size_t>(v)] = *x;
       ctx.ledger.charge(1, "repair");
     } else {
-      const auto fix = brooks_fix(g, c, v, ctx.delta, rho);
+      const auto fix = brooks_fix(g, c, v, ctx.delta, rho, &fix_scratch);
       ++ctx.stats.brooks_fixes;
       ctx.ledger.charge(2 * std::max(1, fix.radius_used) + 1, "repair");
     }
@@ -89,11 +91,11 @@ void repair_completion(ComponentContext& ctx, Coloring& c) {
   }
 }
 
-void color_small_component(ComponentContext& ctx, Coloring& c,
+bool color_small_component(ComponentContext& ctx, Coloring& c,
                            const std::vector<int>& component) {
   const Graph& g = ctx.g;
   const int delta = ctx.delta;
-  if (component.empty()) return;
+  if (component.empty()) return true;
   const auto sub = induced_subgraph(g, component);
   const Graph& comp = sub.graph;
   const int nc = comp.num_vertices();
@@ -134,13 +136,14 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
 
   if (free_nodes.empty() && det.dccs.empty()) {
     // Lemma 27 says this cannot happen for genuinely leftover components;
-    // reachable only under non-paper parameter choices. Repair.
+    // reachable only under non-paper parameter choices. The repair may
+    // color outside this component, so it is deferred to the caller, after
+    // the Phase-(6) fan-out barrier (see internal.h).
     ++ctx.stats.anchors_empty_fallbacks;
     DC_ENSURE(!ctx.opt.strict,
               "strict mode: leftover component has no free node and no DCC "
               "(Lemma 27 violated — check parameters)");
-    repair_completion(ctx, c);
-    return;
+    return false;
   }
 
   // CDCC virtual graph and its ruling set (paper: (2, gamma)); Luby MIS
@@ -225,6 +228,7 @@ void color_small_component(ComponentContext& ctx, Coloring& c,
     }
   }
   ctx.ledger.charge(2 * std::max(1, det.max_dcc_radius) + 1, "small/d0");
+  return true;
 }
 
 }  // namespace deltacol::internal

@@ -1,30 +1,32 @@
-// Level-synchronous BFS engine — the allocation-lean traversal core behind
-// every ball / layering / multi-source query in the library (DESIGN.md §6).
-//
-// Two ideas, both invisible to callers of the classic traversal.h API:
-//
-//  1. **Epoch-stamped scratch.** A `BfsScratch` owns the O(n) visitation
-//     state once; each query bumps a 32-bit epoch instead of clearing, so a
-//     query costs O(ball) — not O(n) — after the first. Results (visit
-//     order, level boundaries, distances, nearest-source labels) are views
-//     into the scratch, sized to the ball, valid until the next query.
-//
-//  2. **Chunk-deterministic frontier splitting.** With a `ThreadPool`
-//     attached, each level's frontier expands in two phases: chunk c scans
-//     its index range of the frontier and records every not-yet-visited
-//     neighbor as a candidate in its own fragment (a pure read of the
-//     level-start visitation state — no writes, no races); then a serial
-//     claim pass replays the fragments in chunk index order. Concatenating
-//     fragments in chunk order reproduces the exact edge-scan sequence of
-//     the serial loop, so the visit order — including the labeled engine's
-//     smaller-source-id tie-break — is bit-identical to the serial engine
-//     for every thread count and every chunk partition.
-//
-// The predicate-filtered variants take the predicate as a template
-// parameter so the per-edge test inlines (no std::function indirection on
-// the hot path); `traversal.h` keeps a `std::function` wrapper for ABI
-// users. Predicates must be pure functions of the vertex id: the pooled
-// engine evaluates them concurrently.
+/// \file
+/// Level-synchronous BFS engine — the allocation-lean traversal core behind
+/// every ball / layering / multi-source query in the library (DESIGN.md §6,
+/// ARCHITECTURE.md "Traversal substrate").
+///
+/// Two ideas, both invisible to callers of the classic traversal.h API:
+///
+///  1. **Epoch-stamped scratch.** A `BfsScratch` owns the O(n) visitation
+///     state once; each query bumps a 32-bit epoch instead of clearing, so a
+///     query costs O(ball) — not O(n) — after the first. Results (visit
+///     order, level boundaries, distances, nearest-source labels) are views
+///     into the scratch, sized to the ball, valid until the next query.
+///
+///  2. **Chunk-deterministic frontier splitting.** With a `ThreadPool`
+///     attached, each level's frontier expands in two phases: chunk c scans
+///     its index range of the frontier and records every not-yet-visited
+///     neighbor as a candidate in its own fragment (a pure read of the
+///     level-start visitation state — no writes, no races); then a serial
+///     claim pass replays the fragments in chunk index order. Concatenating
+///     fragments in chunk order reproduces the exact edge-scan sequence of
+///     the serial loop, so the visit order — including the labeled engine's
+///     smaller-source-id tie-break — is bit-identical to the serial engine
+///     for every thread count and every chunk partition.
+///
+/// The predicate-filtered variants take the predicate as a template
+/// parameter so the per-edge test inlines (no std::function indirection on
+/// the hot path); `traversal.h` keeps a `std::function` wrapper for ABI
+/// users. Predicates must be pure functions of the vertex id: the pooled
+/// engine evaluates them concurrently.
 #pragma once
 
 #include <algorithm>
@@ -39,32 +41,58 @@
 
 namespace deltacol {
 
-// Reusable visitation state for FrontierBfs. One O(n) allocation amortized
-// over arbitrarily many queries (on graphs of any size up to the largest
-// seen); distances/labels of vertices outside the last query's ball are
-// garbage by design — gate every read on visited().
+/// Reusable visitation state for FrontierBfs. One O(n) allocation amortized
+/// over arbitrarily many queries (on graphs of any size up to the largest
+/// seen); distances/labels of vertices outside the last query's ball are
+/// garbage by design — gate every read on visited().
+///
+/// **Epoch-stamp invariant.** `visited(v)` holds iff `stamp_[v] == epoch_`,
+/// and `begin_query` invalidates the previous query by bumping `epoch_`
+/// (O(1)) instead of clearing the stamps (O(n)). Consequences callers rely
+/// on: (a) `dist`/`source_of`/`level` reads are only meaningful under a true
+/// `visited(v)` — everything else is stale data from an arbitrary earlier
+/// query; (b) when the 32-bit epoch wraps (once per ~4·10⁹ queries), the
+/// stamps are honestly cleared once, so a stale stamp can never alias the
+/// live epoch; (c) one scratch may serve graphs of different sizes — the
+/// arrays grow to the largest seen and never shrink.
 class BfsScratch {
  public:
   // --- results of the last query (views valid until the next query) -------
 
+  /// True iff v was reached by the last query (see the epoch-stamp
+  /// invariant above).
   bool visited(int v) const {
     return stamp_[static_cast<std::size_t>(v)] == epoch_;
   }
-  // BFS distance from the nearest source; meaningful iff visited(v).
+  /// BFS distance from the nearest source; meaningful iff visited(v).
   int dist(int v) const { return dist_[static_cast<std::size_t>(v)]; }
-  // Nearest source (ties toward the smaller source id); meaningful iff
-  // visited(v) and the query was a labeled multi-source run.
+  /// Nearest source (ties toward the smaller source id); meaningful iff
+  /// visited(v) and the query was a labeled multi-source run.
   int source_of(int v) const { return source_[static_cast<std::size_t>(v)]; }
 
-  // Every visited vertex in deterministic visit order: sources first (in
-  // claim order), then each level's discoveries in frontier-scan order.
+  /// Every visited vertex in deterministic visit order: sources first (in
+  /// claim order), then each level's discoveries in frontier-scan order.
   std::span<const int> order() const { return {order_.data(), order_.size()}; }
-  // Number of non-empty BFS levels (0 for a query with no sources);
-  // eccentricity of the source = num_levels() - 1.
+  /// Number of non-empty BFS levels (0 for a query with no sources);
+  /// eccentricity of the source = num_levels() - 1.
   int num_levels() const {
     return static_cast<int>(level_offsets_.size()) - 1;
   }
-  // The vertices at distance exactly l, as a slice of order().
+
+  /// Conflict-ball helper: appends to `out` the value `local_id[v]` of every
+  /// visited vertex v whose entry is >= 0, in visit order. `local_id` is any
+  /// caller-owned dense table over the queried graph's vertices (entries < 0
+  /// mean "not a member"). This is how the ruling-set packing engine
+  /// (mis/packing.h) turns a truncated ball query into a candidate's
+  /// conflict set without materializing a power graph.
+  void members_into(std::span<const int> local_id, std::vector<int>& out) const {
+    for (int v : order()) {
+      const int j = local_id[static_cast<std::size_t>(v)];
+      if (j >= 0) out.push_back(j);
+    }
+  }
+
+  /// The vertices at distance exactly l, as a slice of order().
   std::span<const int> level(int l) const {
     const auto lo = static_cast<std::size_t>(
         level_offsets_[static_cast<std::size_t>(l)]);
@@ -115,23 +143,23 @@ class BfsScratch {
   std::vector<int> seed_buf_;
 };
 
-// The engine. Stateless apart from the (optional) pool handle; all query
-// state lives in the caller's BfsScratch, so one engine can serve scratches
-// of different sizes and one scratch can move between engines.
+/// The engine. Stateless apart from the (optional) pool handle; all query
+/// state lives in the caller's BfsScratch, so one engine can serve scratches
+/// of different sizes and one scratch can move between engines.
 class FrontierBfs {
  public:
   explicit FrontierBfs(ThreadPool* pool = nullptr) : pool_(pool) {}
 
   ThreadPool* pool() const { return pool_; }
 
-  // Single-source BFS up to max_dist (< 0: unbounded).
+  /// Single-source BFS up to max_dist (< 0: unbounded).
   void run(const Graph& g, BfsScratch& s, int source, int max_dist = -1) {
     const int seed[1] = {source};
     run_impl<false>(g, s, std::span<const int>(seed, 1), max_dist, kAllowAll);
   }
 
-  // Single-source BFS that may only traverse vertices with allowed(v) true;
-  // the source is always included. `allowed` must be a pure function.
+  /// Single-source BFS that may only traverse vertices with allowed(v) true;
+  /// the source is always included. `allowed` must be a pure function.
   template <typename Allowed>
   void run_filtered(const Graph& g, BfsScratch& s, int source, int max_dist,
                     Allowed&& allowed) {
@@ -139,15 +167,15 @@ class FrontierBfs {
     run_impl<false>(g, s, std::span<const int>(seed, 1), max_dist, allowed);
   }
 
-  // Unlabeled multi-source BFS (distances only; duplicates in `sources` are
-  // merged). Used by the layering machinery.
+  /// Unlabeled multi-source BFS (distances only; duplicates in `sources` are
+  /// merged). Used by the layering machinery.
   void run_multi(const Graph& g, BfsScratch& s, std::span<const int> sources,
                  int max_dist = -1) {
     run_impl<false>(g, s, sources, max_dist, kAllowAll);
   }
 
-  // Restricted multi-source BFS: traversal confined to allowed(v) vertices
-  // (sources are always included, mirroring run_filtered).
+  /// Restricted multi-source BFS: traversal confined to allowed(v) vertices
+  /// (sources are always included, mirroring run_filtered).
   template <typename Allowed>
   void run_multi_filtered(const Graph& g, BfsScratch& s,
                           std::span<const int> sources, int max_dist,
@@ -155,11 +183,11 @@ class FrontierBfs {
     run_impl<false>(g, s, sources, max_dist, allowed);
   }
 
-  // Labeled multi-source BFS: source_of(v) is the nearest source, distance
-  // ties broken toward the smaller source id (the paper's "breaking ties
-  // using identifiers"). Seeds are claimed in ascending id order so the
-  // level-synchronous expansion resolves ties exactly like the classic
-  // FIFO formulation.
+  /// Labeled multi-source BFS: source_of(v) is the nearest source, distance
+  /// ties broken toward the smaller source id (the paper's "breaking ties
+  /// using identifiers"). Seeds are claimed in ascending id order so the
+  /// level-synchronous expansion resolves ties exactly like the classic
+  /// FIFO formulation.
   void run_multi_labeled(const Graph& g, BfsScratch& s,
                          std::span<const int> sources, int max_dist = -1) {
     s.seed_buf_.assign(sources.begin(), sources.end());
@@ -282,17 +310,17 @@ class FrontierBfs {
   ThreadPool* pool_ = nullptr;
 };
 
-// Bridges from scratch views back to the classic dense-vector API: the
-// distances of the last query as a vector sized n, `unreachable` for
-// vertices outside the ball.
+/// Bridges from scratch views back to the classic dense-vector API: the
+/// distances of the last query as a vector sized n, `unreachable` for
+/// vertices outside the ball.
 std::vector<int> dense_distances(const BfsScratch& s, int n,
                                  int unreachable = -1);
 
-// Minimum eccentricity over all vertices — the graph radius for connected
-// graphs. The per-vertex BFS sweeps fan out over the pool in indexed chunks
-// (serial when pool is null); each chunk reuses one scratch across its
-// sweeps and folds a chunk-local minimum, combined in chunk order (a min is
-// order-free, so any thread count yields the same value).
+/// Minimum eccentricity over all vertices — the graph radius for connected
+/// graphs. The per-vertex BFS sweeps fan out over the pool in indexed chunks
+/// (serial when pool is null); each chunk reuses one scratch across its
+/// sweeps and folds a chunk-local minimum, combined in chunk order (a min is
+/// order-free, so any thread count yields the same value).
 int min_eccentricity(const Graph& g, ThreadPool* pool = nullptr);
 
 }  // namespace deltacol

@@ -6,6 +6,7 @@
 #include "graph/frontier_bfs.h"
 #include "graph/traversal.h"
 #include "mis/mis.h"
+#include "mis/packing.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -104,38 +105,12 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
 
   const int per_step = alpha - 1;
   if (engine == RulingSetEngine::kDeterministic) {
-    // Greedy distance-alpha packing in ID order; covering radius alpha-1
-    // follows because a skipped vertex was within alpha-1 of an earlier
-    // pick. Charged at the AGLP bitwise price (see header).
-    std::vector<char> in_subset(static_cast<std::size_t>(g.num_vertices()), 0);
-    for (int s : subset) in_subset[static_cast<std::size_t>(s)] = 1;
-    std::vector<int> dist_to_chosen(static_cast<std::size_t>(g.num_vertices()),
-                                    -1);
-    std::vector<int> sorted = subset;
-    std::sort(sorted.begin(), sorted.end());
-    std::vector<int> out;
-    std::vector<int> q;  // relaxation queue, reused across picks
-    for (int v : sorted) {
-      if (dist_to_chosen[static_cast<std::size_t>(v)] != -1) continue;
-      out.push_back(v);
-      // Truncated BFS marking everything within alpha-1 of v. Labels from
-      // earlier picks must be RELAXED when v is closer, or the frontier
-      // would be cut early and a too-close vertex could be picked later.
-      q.assign(1, v);
-      dist_to_chosen[static_cast<std::size_t>(v)] = 0;
-      for (std::size_t head = 0; head < q.size(); ++head) {
-        const int u = q[head];
-        if (dist_to_chosen[static_cast<std::size_t>(u)] >= alpha - 1) continue;
-        const int next = dist_to_chosen[static_cast<std::size_t>(u)] + 1;
-        for (int w : g.neighbors(u)) {
-          auto& dw = dist_to_chosen[static_cast<std::size_t>(w)];
-          if (dw == -1 || next < dw) {
-            dw = next;
-            q.push_back(w);
-          }
-        }
-      }
-    }
+    // Greedy distance-alpha packing in ID order, resolved by the
+    // batch-parallel engine (mis/packing.h — bit-identical to the serial
+    // greedy for every thread count); covering radius alpha-1 follows
+    // because a skipped vertex was within alpha-1 of an earlier pick.
+    // Charged at the AGLP bitwise price (see header).
+    std::vector<int> out = greedy_alpha_packing(g, subset, alpha, pool);
     const int bits =
         subset.size() <= 1
             ? 1

@@ -28,10 +28,10 @@ enum class RulingSetEngine {
   // Deterministic default. Rounds are charged as the bitwise ID
   // divide-and-conquer [AGLP89-style] algorithm would cost — (alpha-1) *
   // ceil(log2 |subset|) — while the set itself is computed by greedy
-  // distance-alpha packing in ID order, which satisfies a strictly stronger
-  // contract (covering alpha-1 instead of (alpha-1) log n) without
-  // materializing the power graph (that materialization is quadratic once
-  // alpha exceeds the graph diameter).
+  // distance-alpha packing in ID order (batch-parallel, see mis/packing.h),
+  // which satisfies a strictly stronger contract (covering alpha-1 instead
+  // of (alpha-1) log n) without materializing the power graph (that
+  // materialization is quadratic once alpha exceeds the graph diameter).
   kDeterministic,
   // Luby MIS on the auxiliary (power) graph; O(log n) aux rounds w.h.p.
   // Realizes the randomized rows (3)-(4) of Lemma 20.

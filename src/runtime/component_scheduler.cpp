@@ -1,5 +1,7 @@
 #include "runtime/component_scheduler.h"
 
+#include <algorithm>
+
 namespace deltacol {
 
 void ComponentScheduler::run(int count,
@@ -10,6 +12,17 @@ void ComponentScheduler::run(int count,
     return;
   }
   pool_->parallel_chunks(count, job);
+}
+
+std::int64_t ComponentScheduler::run_max_total(
+    int count, const std::function<void(int, RoundLedger&)>& job) const {
+  if (count <= 0) return 0;
+  std::vector<RoundLedger> children(static_cast<std::size_t>(count));
+  run(count,
+      [&](int i) { job(i, children[static_cast<std::size_t>(i)]); });
+  std::int64_t best = 0;
+  for (const auto& child : children) best = std::max(best, child.total());
+  return best;
 }
 
 void charge_max_component(RoundLedger& parent,

@@ -39,6 +39,16 @@ class ComponentScheduler {
   /// (the one a serial loop would have surfaced).
   void run(int count, const std::function<void(int)>& job) const;
 
+  /// Phase-(6)-style fan-out: runs job(i, ledger_i) for every i with an
+  /// index-private RoundLedger and returns the maximum child total — the
+  /// LOCAL-model cost of independent instances executing concurrently on a
+  /// real network (§2 of DESIGN.md). Callers charge the returned value to
+  /// their own phase tag; the per-child phase breakdowns are deliberately
+  /// discarded (the max is a single network-time figure, not a merge).
+  /// Exceptions follow run(): the lowest-index job's is rethrown.
+  std::int64_t run_max_total(
+      int count, const std::function<void(int, RoundLedger&)>& job) const;
+
  private:
   ThreadPool* pool_;
 };

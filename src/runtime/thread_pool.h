@@ -14,9 +14,16 @@
 ///     region (components running on workers parallelize their inner
 ///     per-node sweeps). The caller of every region participates in draining
 ///     its own chunks, so progress never depends on a free worker existing.
-///  3. **Exception transparency.** The first-failing chunk (lowest chunk
-///     index, i.e. the one a serial loop would have hit first) is rethrown
-///     on the calling thread after the region completes.
+///  3. **Exception transparency — the lowest-chunk exception invariant.**
+///     When chunks throw, every chunk of the region still runs to
+///     completion (a throwing chunk cannot cancel its siblings — they may
+///     already be mutating their index-private slots), each exception is
+///     captured in the chunk-indexed error slot, and after the barrier the
+///     exception of the LOWEST failing chunk index is rethrown on the
+///     calling thread. That is exactly the exception a serial loop over the
+///     same chunks would have surfaced, so error behaviour is thread-count
+///     invariant too — callers (e.g. delta_color's retry loop) cannot
+///     distinguish a parallel failure from a serial one.
 ///
 /// A pool constructed with `num_threads <= 1` spawns no workers and runs
 /// every region inline; the library treats that as the serial engine.

@@ -6,7 +6,9 @@
 #include "graph/traversal.h"
 #include "mis/luby_sync.h"
 #include "mis/mis.h"
+#include "mis/packing.h"
 #include "mis/ruling_set.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 namespace deltacol {
@@ -193,6 +195,92 @@ TEST(RulingSet, DeterministicIsDeterministic) {
                             nullptr, l2, "rs");
   EXPECT_EQ(a, b);
   EXPECT_EQ(l1.total(), l2.total());
+}
+
+// The batch-parallel packing engine (mis/packing.h) must be bit-identical
+// to the serial greedy for every thread count — the golden test the
+// ruling-set engine's correctness argument leans on (DESIGN.md §6).
+TEST(Packing, GoldenEquivalenceOverGeneratorZoo) {
+  Rng gen(3);
+  std::vector<std::pair<const char*, Graph>> zoo;
+  zoo.emplace_back("regular", random_regular(400, 5, gen));
+  zoo.emplace_back("sparse", random_graph_max_degree(300, 6, 1.7, gen));
+  zoo.emplace_back("torus", grid_graph(18, 18, true));
+  zoo.emplace_back("gallai", random_gallai_tree(300, 4, gen));
+  zoo.emplace_back("cactus", triangle_cactus(250));
+  zoo.emplace_back("clique-ring", clique_ring(12, 4));
+  zoo.emplace_back("hypercube", hypercube_graph(7));
+  zoo.emplace_back("tree", random_tree(300, 5, gen));
+
+  ThreadPool pool2(2), pool8(8);
+  for (const auto& [name, g] : zoo) {
+    std::vector<int> all(static_cast<std::size_t>(g.num_vertices()));
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      all[static_cast<std::size_t>(v)] = v;
+    }
+    std::vector<int> strided;
+    for (int v = 0; v < g.num_vertices(); v += 3) strided.push_back(v);
+    for (const auto& subset : {all, strided}) {
+      for (int alpha : {2, 3, 5}) {
+        const auto ref = greedy_alpha_packing_reference(g, subset, alpha);
+        const std::string label = std::string(name) + " alpha=" +
+                                  std::to_string(alpha) + " |S|=" +
+                                  std::to_string(subset.size());
+        EXPECT_EQ(greedy_alpha_packing(g, subset, alpha, nullptr), ref)
+            << label << " serial";
+        EXPECT_EQ(greedy_alpha_packing(g, subset, alpha, &pool2), ref)
+            << label << " 2 threads";
+        EXPECT_EQ(greedy_alpha_packing(g, subset, alpha, &pool8), ref)
+            << label << " 8 threads";
+      }
+    }
+  }
+}
+
+TEST(Packing, EdgeCases) {
+  const Graph p = path_graph(6);
+  EXPECT_TRUE(greedy_alpha_packing(p, {}, 3).empty());
+  // alpha = 1: every distinct subset member qualifies, returned sorted.
+  EXPECT_EQ(greedy_alpha_packing(p, {4, 0, 2}, 1),
+            (std::vector<int>{0, 2, 4}));
+  // Duplicate subset entries collapse to one pick — for every alpha
+  // (repeats are at distance 0, which would break the packing contract).
+  EXPECT_EQ(greedy_alpha_packing(p, {2, 2, 2}, 2), (std::vector<int>{2}));
+  EXPECT_EQ(greedy_alpha_packing(p, {2, 2}, 1), (std::vector<int>{2}));
+  EXPECT_EQ(greedy_alpha_packing_reference(p, {2, 2}, 1),
+            (std::vector<int>{2}));
+  // Path, alpha = 3: greedy from id 0 picks every third vertex.
+  std::vector<int> all{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(greedy_alpha_packing(p, all, 3), (std::vector<int>{0, 3}));
+  EXPECT_EQ(greedy_alpha_packing_reference(p, all, 3),
+            (std::vector<int>{0, 3}));
+}
+
+// The default deterministic ruling-set engine now runs on the packing
+// engine: its output (and charge) must be thread-count invariant.
+TEST(RulingSet, DeterministicEngineThreadCountInvariant) {
+  Rng gen(21);
+  const Graph g = random_graph_max_degree(400, 5, 1.6, gen);
+  std::vector<int> all(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  for (int alpha : {2, 4}) {
+    RoundLedger l_serial;
+    const auto serial = ruling_set(g, all, alpha,
+                                   RulingSetEngine::kDeterministic, nullptr,
+                                   l_serial, "rs");
+    EXPECT_TRUE(is_ruling_set(g, all, serial, alpha, alpha - 1));
+    for (int threads : {2, 8}) {
+      ThreadPool pool(threads);
+      RoundLedger l_pool;
+      const auto pooled = ruling_set(g, all, alpha,
+                                     RulingSetEngine::kDeterministic, nullptr,
+                                     l_pool, "rs", &pool);
+      EXPECT_EQ(pooled, serial) << threads << " threads, alpha " << alpha;
+      EXPECT_EQ(l_pool.total(), l_serial.total());
+    }
+  }
 }
 
 TEST(RulingSet, PowerGraphChargesMultiplier) {

@@ -124,6 +124,36 @@ TEST(ParallelDeterminism, RandomizedListEngineSharesOneRngStream) {
   }
 }
 
+TEST(ParallelDeterminism, LeftoverComponentSchedulerIsDeterministic) {
+  // A deep Gallai-tree interior with a small happiness radius leaves
+  // SEVERAL leftover components inside one nice component, so Phase (6)'s
+  // inner ComponentScheduler fan-out — not just the outer per-component one
+  // — is what runs here. Pre-split RNG streams, index-private ledgers/stats
+  // and the max-total charge must make every observable thread-invariant.
+  const Graph g = triangle_cactus(5000);
+  DeltaColoringOptions serial_opt;
+  serial_opt.seed = 9;
+  serial_opt.small_variant_radius_cap = 2;
+  serial_opt.num_threads = 1;
+  const DeltaColoringResult serial =
+      delta_color(g, Algorithm::kRandomizedSmall, serial_opt);
+  validate_delta_coloring(g, serial.coloring, serial.delta);
+  ASSERT_GE(serial.stats.leftover_components, 2)
+      << "workload no longer exercises the Phase-(6) fan-out";
+
+  for (int threads : {2, 8}) {
+    DeltaColoringOptions opt = serial_opt;
+    opt.num_threads = threads;
+    const DeltaColoringResult res =
+        delta_color(g, Algorithm::kRandomizedSmall, opt);
+    const std::string label =
+        "leftover-scheduler / " + std::to_string(threads) + " threads";
+    EXPECT_EQ(res.coloring, serial.coloring) << label;
+    expect_same_ledger(res.ledger, serial.ledger, label);
+    expect_same_stats(res.stats, serial.stats, label);
+  }
+}
+
 TEST(ParallelDeterminism, AutoThreadCountAlsoMatches) {
   Rng rng(61);
   const Graph g = random_regular(300, 4, rng);
