@@ -1,7 +1,7 @@
 // deltacol_cli — color a graph from disk.
 //
 //   ./deltacol_cli <edge-list-file> [--alg small|large|det|ps|naive]
-//                  [--seed S] [--threads T] [--paper-constants]
+//                  [--seed S] [--threads T] [--shards S] [--paper-constants]
 //                  [--dot out.dot]
 //
 // Reads an edge list ("n m" header, one "u v" pair per line, 0-based),
@@ -23,9 +23,12 @@ namespace {
 
 void usage(std::ostream& out) {
   out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
-         " [--seed S] [--threads T] [--paper-constants] [--dot out.dot]\n"
+         " [--seed S] [--threads T] [--shards S] [--paper-constants]"
+         " [--dot out.dot]\n"
          "  --threads T   worker threads for the parallel runtime (0 = all\n"
-         "                hardware threads; results are identical for any T)\n";
+         "                hardware threads; results are identical for any T)\n"
+         "  --shards S    shards for the partitioned execution layer (<= 1 =\n"
+         "                unsharded; results are identical for any S)\n";
 }
 
 }  // namespace
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--threads" && i + 1 < argc) {
       opt.num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (a == "--shards" && i + 1 < argc) {
+      opt.num_shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (a == "--paper-constants") {
       opt.use_paper_constants = true;
     } else if (a == "--dot" && i + 1 < argc) {

@@ -9,7 +9,9 @@
 #include "graph/components.h"
 #include "graph/frontier_bfs.h"
 #include "graph/ops.h"
+#include "graph/partition.h"
 #include "graph/traversal.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -79,7 +81,8 @@ std::vector<int> path_to_nearest(const Graph& g, int src, int max_r,
 }  // namespace
 
 BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
-                           int max_radius, BfsScratch* scratch) {
+                           int max_radius, BfsScratch* scratch,
+                           bool defer_emergency) {
   DC_REQUIRE(delta >= 3, "brooks_fix requires delta >= 3");
   DC_REQUIRE(c[static_cast<std::size_t>(v0)] == kUncolored,
              "v0 must be the uncolored node");
@@ -91,30 +94,32 @@ BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
     return res;
   }
 
-  const Coloring before = c;
-  // Epoch-stamped handle for the two whole-graph queries below; a
-  // caller-held scratch amortizes the O(n) state over a loop of fixes.
+  // Epoch-stamped handle for the whole-graph queries below; a caller-held
+  // scratch amortizes the O(n) state over a loop of fixes.
   BfsScratch local_scratch;
   BfsScratch& bs = scratch != nullptr ? *scratch : local_scratch;
   FrontierBfs bfs_engine;  // serial: the walk stays serial (DESIGN.md §6)
-
-  auto measure_radius = [&]() {
-    bfs_engine.run(g, bs, v0);
-    int radius = 0;
-    for (int u = 0; u < g.num_vertices(); ++u) {
-      if (c[static_cast<std::size_t>(u)] != before[static_cast<std::size_t>(u)] &&
-          bs.visited(u)) {
-        radius = std::max(radius, bs.dist(u));
-      }
-    }
-    return radius;
-  };
 
   // Gather the search ball once; all structure decisions are local to it.
   // induced_subgraph sorts its input, so passing the scratch's visit order
   // directly yields the same subgraph the classic sorted ball() produced.
   bfs_engine.run(g, bs, v0, max_radius);
-  const auto ball_sub = induced_subgraph(g, bs.order());
+  // Snapshot the ball (ids, distances, colors) before any mutation. On the
+  // non-emergency paths every write lands inside the ball, so the radius is
+  // measured against this snapshot alone — no whole-graph color copy and no
+  // re-traversal, which is what lets fixes with disjoint balls run
+  // concurrently (schedule_disjoint_brooks_fixes) without ever reading
+  // another walk's writes.
+  std::vector<int> ball_nodes(bs.order().begin(), bs.order().end());
+  std::vector<int> ball_dist;
+  std::vector<Color> ball_before;
+  ball_dist.reserve(ball_nodes.size());
+  ball_before.reserve(ball_nodes.size());
+  for (int u : ball_nodes) {
+    ball_dist.push_back(bs.dist(u));
+    ball_before.push_back(c[static_cast<std::size_t>(u)]);
+  }
+  const auto ball_sub = induced_subgraph(g, ball_nodes);
   const Graph& B = ball_sub.graph;
   const int v0_local = ball_sub.from_parent[static_cast<std::size_t>(v0)];
 
@@ -149,7 +154,13 @@ BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
   if (local_path.empty()) {
     // Lemma 16 says this is unreachable once max_radius >= 2 log_{D-1} n on
     // nice graphs; emergency fallback for callers with a too-small radius:
-    // recolor v0's whole connected component from scratch.
+    // recolor v0's whole connected component from scratch. Nothing has been
+    // mutated yet, so a deferring caller can bail out here and run the
+    // recolor serially after its barrier.
+    if (defer_emergency) {
+      res.deferred_emergency = true;
+      return res;
+    }
     const auto cc = connected_components(g);
     std::vector<int> comp_vertices;
     for (int u = 0; u < g.num_vertices(); ++u) {
@@ -159,12 +170,27 @@ BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
       }
     }
     const auto comp = induced_subgraph(g, comp_vertices);
+    std::vector<Color> comp_before;
+    comp_before.reserve(comp_vertices.size());
+    for (int u : comp_vertices) {
+      comp_before.push_back(c[static_cast<std::size_t>(u)]);
+    }
     const Coloring fresh = brooks_coloring_components(comp.graph, delta);
     for (int i = 0; i < comp.graph.num_vertices(); ++i) {
       c[comp.to_parent[static_cast<std::size_t>(i)]] = fresh[i];
     }
     res.used_component_recolor = true;
-    res.radius_used = measure_radius();
+    // The recolor escapes the ball: measure the radius over the whole
+    // component with a fresh unbounded BFS.
+    bfs_engine.run(g, bs, v0);
+    int radius = 0;
+    for (std::size_t i = 0; i < comp_vertices.size(); ++i) {
+      const int u = comp_vertices[i];
+      if (c[static_cast<std::size_t>(u)] != comp_before[i] && bs.visited(u)) {
+        radius = std::max(radius, bs.dist(u));
+      }
+    }
+    res.radius_used = radius;
     return res;
   }
 
@@ -213,8 +239,129 @@ BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
     res.used_dcc = true;
   }
 
-  res.radius_used = measure_radius();
+  // Radius over the ball snapshot: on this path every change is inside the
+  // ball, whose distances the gathering query already produced.
+  int radius = 0;
+  for (std::size_t i = 0; i < ball_nodes.size(); ++i) {
+    if (c[static_cast<std::size_t>(ball_nodes[i])] != ball_before[i]) {
+      radius = std::max(radius, ball_dist[i]);
+    }
+  }
+  res.radius_used = radius;
   return res;
+}
+
+namespace {
+
+#ifndef NDEBUG
+// Debug guard for the scheduled fixes: what the concurrency argument
+// actually uses is that one fix's WRITE ball (radius max_radius) never
+// meets another fix's READ ball (radius max_radius + 1) — equivalent to
+// pairwise base distance >= 2*max_radius + 2, the ruling-set guarantee.
+// Two passes over an owner table, O(sum of ball sizes).
+void assert_disjoint_brooks_balls(const Graph& g, const std::vector<int>& bases,
+                                  int max_radius) {
+  std::vector<int> write_owner(static_cast<std::size_t>(g.num_vertices()), -1);
+  BfsScratch scratch;
+  FrontierBfs bfs;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    bfs.run(g, scratch, bases[i], max_radius);
+    for (int u : scratch.order()) {
+      DC_ENSURE(write_owner[static_cast<std::size_t>(u)] < 0,
+                "scheduled Brooks fixes: recoloring balls overlap (bases "
+                "closer than 2*max_radius + 2)");
+      write_owner[static_cast<std::size_t>(u)] = static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    bfs.run(g, scratch, bases[i], max_radius + 1);
+    for (int u : scratch.order()) {
+      const int w = write_owner[static_cast<std::size_t>(u)];
+      DC_ENSURE(w < 0 || w == static_cast<int>(i),
+                "scheduled Brooks fixes: a fix's read ball meets another "
+                "fix's write ball (bases closer than 2*max_radius + 2)");
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+ScheduledBrooksFixes schedule_disjoint_brooks_fixes(
+    const Graph& g, Coloring& c, const std::vector<int>& bases, int delta,
+    int max_radius, ThreadPool* pool, int num_shards) {
+  const int k = static_cast<int>(bases.size());
+  ScheduledBrooksFixes out;
+  out.results.resize(static_cast<std::size_t>(k));
+  out.executed.assign(static_cast<std::size_t>(k), 0);
+  if (k == 0) return out;
+#ifndef NDEBUG
+  assert_disjoint_brooks_balls(g, bases, max_radius);
+#endif
+
+  // Pass 1 — concurrent walks, emergencies deferred. Each unit of work owns
+  // one BfsScratch (the O(n) visitation state), so the fan-out is capped at
+  // one chunk per executor; with shards attached the bases group by the
+  // home shard of their vertex under the contiguous partition instead (the
+  // placement a distributed runtime would use). Either grouping yields
+  // bit-identical results: the fixes commute (disjoint read/write sets).
+  const auto run_indices = [&](const int* idx, int count) {
+    BfsScratch scratch;
+    for (int j = 0; j < count; ++j) {
+      const int i = idx[j];
+      out.results[static_cast<std::size_t>(i)] =
+          brooks_fix(g, c, bases[static_cast<std::size_t>(i)], delta,
+                     max_radius, &scratch, /*defer_emergency=*/true);
+    }
+  };
+  if (num_shards > 1) {
+    const VertexPartition part =
+        VertexPartition::contiguous(g.num_vertices(), num_shards);
+    std::vector<std::vector<int>> by_shard(
+        static_cast<std::size_t>(num_shards));
+    for (int i = 0; i < k; ++i) {
+      by_shard[static_cast<std::size_t>(
+                   part.shard_of(bases[static_cast<std::size_t>(i)]))]
+          .push_back(i);
+    }
+    const auto shard_body = [&](int s) {
+      const auto& group = by_shard[static_cast<std::size_t>(s)];
+      run_indices(group.data(), static_cast<int>(group.size()));
+    };
+    if (pool != nullptr) {
+      pool->parallel_chunks(num_shards, shard_body);
+    } else {
+      for (int s = 0; s < num_shards; ++s) shard_body(s);
+    }
+  } else {
+    std::vector<int> all(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) all[static_cast<std::size_t>(i)] = i;
+    pooled_ranges(
+        pool, 0, k,
+        [&](int /*chunk*/, int lo, int hi) {
+          run_indices(all.data() + lo, hi - lo);
+        },
+        pool != nullptr ? pool->num_threads() : 1);
+  }
+
+  // Pass 2 — serial, ascending index: complete the deferred Lemma-27
+  // emergencies with the component recolor enabled. A recolor touches the
+  // whole component and may color later deferred bases; those are skipped.
+  BfsScratch serial_scratch;
+  for (int i = 0; i < k; ++i) {
+    auto& r = out.results[static_cast<std::size_t>(i)];
+    if (r.deferred_emergency) {
+      const int v = bases[static_cast<std::size_t>(i)];
+      if (c[static_cast<std::size_t>(v)] != kUncolored) continue;  // skipped
+      r = brooks_fix(g, c, v, delta, max_radius, &serial_scratch,
+                     /*defer_emergency=*/false);
+    }
+    out.executed[static_cast<std::size_t>(i)] = 1;
+    ++out.num_executed;
+    if (r.used_component_recolor) ++out.num_emergencies;
+    out.max_radius_used = std::max(out.max_radius_used, r.radius_used);
+  }
+  return out;
 }
 
 }  // namespace deltacol

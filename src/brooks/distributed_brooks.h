@@ -16,12 +16,15 @@
 //     lists (possible by Theorem 8).
 #pragma once
 
+#include <vector>
+
 #include "coloring/coloring.h"
 #include "graph/graph.h"
 
 namespace deltacol {
 
-class BfsScratch;  // graph/frontier_bfs.h
+class BfsScratch;   // graph/frontier_bfs.h
+class ThreadPool;   // runtime/thread_pool.h; nullptr = serial
 
 struct BrooksFixResult {
   // Max distance from the initially uncolored node of any vertex whose color
@@ -34,6 +37,11 @@ struct BrooksFixResult {
   // when max_radius >= 2 log_{Delta-1} n + 1 on nice graphs) and the whole
   // component was recolored from scratch.
   bool used_component_recolor = false;
+  // Set only under defer_emergency: the emergency case was detected and
+  // NOTHING was mutated — the caller must finish this fix serially (the
+  // component recolor escapes the search ball, so it cannot run while
+  // other walks are in flight).
+  bool deferred_emergency = false;
 };
 
 // Completes the coloring at v0. Preconditions: c proper, complete except
@@ -41,14 +49,55 @@ struct BrooksFixResult {
 // clique on delta+1 vertices. Post: c proper and complete, only vertices
 // within radius_used of v0 changed.
 //
-// The walk itself is serial by design (its emergency component-recolor path
-// may touch the whole component, see DESIGN.md §6), but the two whole-graph
-// ball queries — gathering the search ball and measuring the recoloring
-// radius — run through `scratch` when the caller passes one, so a loop of
-// fixes pays the O(n) visitation state once instead of per call. nullptr
-// falls back to a call-local scratch; results are identical either way.
+// The walk runs serially here, but it reads colors only within distance
+// max_radius + 1 of v0 and writes only within max_radius, so fixes of base
+// vertices at pairwise distance >= 2*max_radius + 2 commute and may run
+// concurrently — that is what schedule_disjoint_brooks_fixes does. The only
+// escape from that locality is the emergency component recolor; passing
+// defer_emergency = true makes the emergency case return (untouched
+// coloring, deferred_emergency set) instead, so a concurrent caller can
+// complete it after its barrier.
+//
+// The whole-graph ball query runs through `scratch` when the caller passes
+// one, so a loop of fixes pays the O(n) visitation state once instead of
+// per call. nullptr falls back to a call-local scratch; results are
+// identical either way.
 BrooksFixResult brooks_fix(const Graph& g, Coloring& c, int v0, int delta,
-                           int max_radius, BfsScratch* scratch = nullptr);
+                           int max_radius, BfsScratch* scratch = nullptr,
+                           bool defer_emergency = false);
+
+// Outcome of a scheduled batch of Brooks fixes (index-aligned with the
+// input bases).
+struct ScheduledBrooksFixes {
+  std::vector<BrooksFixResult> results;
+  // 0 for a base that was skipped because an earlier emergency recolor in
+  // the serial pass had already colored it (only possible after a Lemma-27
+  // fallback; such bases get no fix and a default-constructed result).
+  std::vector<char> executed;
+  int num_executed = 0;
+  int num_emergencies = 0;  // results[i].used_component_recolor count
+  int max_radius_used = 0;
+};
+
+// Schedules the token-walk fixes of `bases` on the pool. REQUIRES pairwise
+// distance >= 2*max_radius + 2 between bases (ruling-set construction gives
+// exactly this; debug builds assert the resulting radius-max_radius ball
+// disjointness) and every base uncolored on entry. Two passes:
+//
+//  1. Parallel pass: contiguous base ranges fan out as chunks (one
+//     BfsScratch each; shard-major grouping by the contiguous vertex
+//     partition when num_shards > 1); every fix runs with emergencies
+//     deferred, so concurrent walks touch disjoint balls only.
+//  2. Serial pass, ascending index: deferred Lemma-27 emergencies complete
+//     with the component recolor enabled (a recolor may color later
+//     deferred bases — those are skipped, see `executed`).
+//
+// Results are bit-identical for every (threads, shards) combination: the
+// parallel-pass fixes commute (disjoint read/write sets) and the serial
+// pass is index-ordered.
+ScheduledBrooksFixes schedule_disjoint_brooks_fixes(
+    const Graph& g, Coloring& c, const std::vector<int>& bases, int delta,
+    int max_radius, ThreadPool* pool, int num_shards = 1);
 
 // The paper's bound 2 log_{Delta-1} n, rounded up, plus slack for the DCC
 // diameter; a safe default max_radius for brooks_fix.

@@ -7,6 +7,7 @@
 #include "core/internal.h"
 #include "graph/components.h"
 #include "graph/ops.h"
+#include "graph/partition.h"
 #include "graph/structure.h"
 #include "runtime/component_scheduler.h"
 #include "runtime/thread_pool.h"
@@ -78,6 +79,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
   // every observable stays index-keyed: private RNG streams are pre-split
   // here in component order, every job writes only its own ledger / stats /
   // coloring slice, and the folds below run serially in component order.
+  const int num_shards = VertexPartition::resolve_num_shards(opt.num_shards);
   const auto comps = connected_components(g).vertex_sets();
   const int num_comps = static_cast<int>(comps.size());
   std::vector<Rng> comp_rngs;
@@ -87,7 +89,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
   std::vector<PhaseStats> comp_stats(comps.size());
 
   const ComponentScheduler scheduler(pool);
-  scheduler.run(num_comps, [&](int ci) {
+  const auto component_job = [&](int ci) {
     const auto& comp_vertices = comps[static_cast<std::size_t>(ci)];
     const auto sub = induced_subgraph(g, comp_vertices);
     const Graph& comp = sub.graph;
@@ -108,7 +110,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
                          lin.num_colors, opt,
                          comp_rng,       ledger,
                          comp_stats[static_cast<std::size_t>(ci)],
-                         pool};
+                         pool,           num_shards};
 
     if (comp.max_degree() < delta || is_clique(comp) || is_cycle(comp) ||
         is_path(comp)) {
@@ -154,7 +156,17 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
     for (int v = 0; v < comp.num_vertices(); ++v) {
       res.coloring[sub.to_parent[static_cast<std::size_t>(v)]] = local[v];
     }
-  });
+  };
+  // Shard-placed execution (no-op at num_shards <= 1): each component runs
+  // on the shard that owns its lowest vertex — the placement a distributed
+  // deployment would use. Identical observables either way (jobs are
+  // index-private); only placement/wall-clock differ.
+  std::vector<int> comp_owner(static_cast<std::size_t>(num_comps));
+  for (int ci = 0; ci < num_comps; ++ci) {
+    comp_owner[static_cast<std::size_t>(ci)] =
+        comps[static_cast<std::size_t>(ci)].front();
+  }
+  scheduler.run_owner_placed(n, num_shards, comp_owner, component_job);
 
   // Serial folds in component order (see scheduler comment above).
   for (const auto& stats : comp_stats) {

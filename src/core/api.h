@@ -83,6 +83,19 @@ struct DeltaColoringOptions {
   /// (enforced by tests/test_parallel_determinism.cpp). <= 1 runs fully
   /// serial; 0 means "use all hardware threads".
   int num_threads = 1;
+
+  /// Shards for the partitioned execution layer (graph/partition.h +
+  /// runtime/mailbox.h): vertices split into `num_shards` contiguous
+  /// ranges, connected components are placed on the shard owning their
+  /// lowest vertex, per-node sweeps run shard-major, and scheduled Brooks
+  /// fixes group by home shard. Today every shard executes in-process on
+  /// the same ThreadPool (the InProcessTransport); the option exists so
+  /// that moving to a distributed Transport is a backend swap, not an
+  /// engine change. Like num_threads this affects placement and wall-clock
+  /// ONLY — colorings, ledgers and stats are bit-for-bit identical for
+  /// every (num_shards, num_threads) pair (enforced by the shard golden
+  /// tests in tests/test_parallel_determinism.cpp). <= 1 runs unsharded.
+  int num_shards = 1;
 };
 
 /// Per-phase observability of one delta_color run: how much work each phase

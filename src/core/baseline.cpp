@@ -90,10 +90,13 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
                             delta, nd, c, ctx.ledger, "ps/layer-coloring");
   }
 
-  BfsScratch fix_scratch;  // one visitation state for every fix's queries
-  for (int v : base) {
-    const auto fix = brooks_fix(g, c, v, delta, rho, &fix_scratch);
-    ++ctx.stats.brooks_fixes;
+  // The base fixes have pairwise-disjoint recoloring balls (distance-R
+  // ruling set, R = 2*rho + 2): fan them out over the pool with the
+  // emergency path deferred to a serial index-ordered pass.
+  const auto fixes = schedule_disjoint_brooks_fixes(
+      g, c, base, delta, rho, ctx.pool, ctx.num_shards);
+  ctx.stats.brooks_fixes += fixes.num_executed;
+  for (const auto& fix : fixes.results) {
     if (fix.used_component_recolor) {
       DC_ENSURE(!ctx.opt.strict, "strict mode: Brooks fix exceeded radius");
       ++ctx.stats.repairs;
@@ -129,7 +132,6 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
             : wide[static_cast<std::size_t>(v)];
   }
   const int rho = brooks_search_radius(n, delta);
-  BfsScratch fix_scratch;  // one visitation state for every fix's queries
   for (;;) {
     std::vector<int> overflow;
     for (int v = 0; v < n; ++v) {
@@ -140,11 +142,13 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
         ruling_set(g, overflow, 2 * rho + 2, RulingSetEngine::kRandomized,
                    &ctx.rng, ctx.ledger, "naive/schedule", ctx.pool);
     DC_ENSURE(!batch.empty(), "scheduling MIS returned empty batch");
-    for (int v : batch) {
-      if (c[static_cast<std::size_t>(v)] != kUncolored) continue;  // side-colored
-      brooks_fix(g, c, v, delta, rho, &fix_scratch);
-      ++ctx.stats.brooks_fixes;
-    }
+    // The batch is a distance-(2*rho+2) ruling set, so its fixes have
+    // disjoint balls and run concurrently; an emergency recolor (serial
+    // pass) may side-color later batch members, which are then skipped
+    // (`executed` = 0) exactly as the old serial loop skipped them.
+    const auto fixes = schedule_disjoint_brooks_fixes(
+        g, c, batch, delta, rho, ctx.pool, ctx.num_shards);
+    ctx.stats.brooks_fixes += fixes.num_executed;
     ctx.ledger.charge(2 * rho + 1, "naive/brooks-fixes");
   }
 }

@@ -51,23 +51,28 @@ void run_deterministic(ComponentContext& ctx, Coloring& c) {
                           c, ctx.ledger, "det/layer-coloring", ctx.pool);
 
   // Color B0 by independent Brooks fixes. Balls of radius rho around
-  // distinct B0 nodes are disjoint, so the fixes commute and all, in a real
-  // network, run in the same 2*rho+1 rounds.
-  int max_fix_radius = 0;
-  BfsScratch fix_scratch;  // one visitation state for every fix's queries
+  // distinct B0 nodes are disjoint (B0 is a distance-R ruling set with
+  // R = 2*rho + 2), so the fixes commute and all, in a real network, run in
+  // the same 2*rho+1 rounds — and on this host they run concurrently, fanned
+  // out over the pool (grouped by home shard when sharding is on), with the
+  // Lemma-27 emergency path deferred to a serial pass (see
+  // schedule_disjoint_brooks_fixes; debug builds assert the ball
+  // disjointness the fan-out relies on).
   for (int v : base) {
     DC_ENSURE(c[static_cast<std::size_t>(v)] == kUncolored,
               "base vertex was colored by a layer instance");
-    const auto fix = brooks_fix(g, c, v, delta, rho, &fix_scratch);
-    ++ctx.stats.brooks_fixes;
+  }
+  const auto fixes = schedule_disjoint_brooks_fixes(
+      g, c, base, delta, rho, ctx.pool, ctx.num_shards);
+  ctx.stats.brooks_fixes += fixes.num_executed;
+  for (const auto& fix : fixes.results) {
     if (fix.used_component_recolor) {
       // Emergency path (should not happen; see brooks_fix): charge
-      // sequentially and honestly.
+      // sequentially and honestly, in base-index order.
       DC_ENSURE(!ctx.opt.strict, "strict mode: Brooks fix exceeded radius");
       ++ctx.stats.repairs;
       ctx.ledger.charge(2 * fix.radius_used + 1, "det/base-layer");
     }
-    max_fix_radius = std::max(max_fix_radius, fix.radius_used);
   }
   ctx.ledger.charge(2 * rho + 1, "det/base-layer");
 }

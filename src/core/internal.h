@@ -22,6 +22,10 @@ struct ComponentContext {
   RoundLedger& ledger;
   PhaseStats& stats;
   ThreadPool* pool = nullptr;  // nullptr: run serial (see src/runtime/)
+  // Shard count of the partitioned execution layer, resolved (>= 1).
+  // Pipelines use it to place their sweeps / fix batches / inner fan-outs
+  // shard-major (graph/partition.h); observables are shard-invariant.
+  int num_shards = 1;
 };
 
 void run_deterministic(ComponentContext& ctx, Coloring& c);

@@ -1,0 +1,63 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace deltacol {
+
+VertexPartition VertexPartition::contiguous(int n, int num_shards) {
+  DC_REQUIRE(n >= 0, "partition over negative vertex count");
+  DC_REQUIRE(num_shards >= 1, "partition needs at least one shard");
+  VertexPartition p;
+  p.n_ = n;
+  p.num_shards_ = num_shards;
+  return p;
+}
+
+int VertexPartition::resolve_num_shards(int requested) {
+  return std::max(1, requested);
+}
+
+GraphView::GraphView(const Graph& g, const VertexPartition& part, int shard)
+    : g_(&g), shard_(shard) {
+  DC_REQUIRE(part.num_vertices() == g.num_vertices(),
+             "partition does not span the graph");
+  DC_REQUIRE(0 <= shard && shard < part.num_shards(), "shard out of range");
+  lo_ = part.begin(shard);
+  hi_ = part.end(shard);
+  cross_.assign(static_cast<std::size_t>(part.num_shards()), 0);
+  for (int v = lo_; v < hi_; ++v) {
+    for (int u : g.neighbors(v)) {
+      if (owns(u)) {
+        // Counted once per undirected internal edge (from its smaller end).
+        if (v < u) ++internal_edges_;
+      } else {
+        halo_.push_back(u);
+        ++cross_[static_cast<std::size_t>(part.shard_of(u))];
+      }
+    }
+  }
+  std::sort(halo_.begin(), halo_.end());
+  halo_.erase(std::unique(halo_.begin(), halo_.end()), halo_.end());
+}
+
+bool GraphView::in_halo(int v) const {
+  return std::binary_search(halo_.begin(), halo_.end(), v);
+}
+
+std::int64_t GraphView::total_cross_edges() const {
+  std::int64_t total = 0;
+  for (std::int64_t c : cross_) total += c;
+  return total;
+}
+
+std::vector<GraphView> build_graph_views(const Graph& g,
+                                         const VertexPartition& part) {
+  std::vector<GraphView> views;
+  views.reserve(static_cast<std::size_t>(part.num_shards()));
+  for (int s = 0; s < part.num_shards(); ++s) views.emplace_back(g, part, s);
+  return views;
+}
+
+}  // namespace deltacol

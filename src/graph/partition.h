@@ -1,0 +1,131 @@
+/// \file
+/// Deterministic vertex partitioning and per-shard graph views — the data
+/// layer of the shard runtime (see runtime/mailbox.h for the execution
+/// layer and ARCHITECTURE.md "The shard layer" for the full picture).
+///
+/// A `VertexPartition` splits the dense vertex ids [0, n) into `num_shards`
+/// **contiguous, ascending** ranges whose sizes differ by at most one. Two
+/// properties make this the partition the whole runtime is built on:
+///
+///  1. **Determinism.** The split is a pure function of (n, num_shards) —
+///     no hashing, no seeds — so every process (today: every shard job on
+///     the ThreadPool; later: every rank of a distributed transport) derives
+///     the identical owner map locally.
+///  2. **Order preservation.** Ranges ascend with the shard id, so
+///     concatenating per-shard data in shard order reproduces ascending
+///     vertex order. This is what lets the mailbox layer merge shard-major
+///     and still hand every inbox the exact byte sequence the serial engine
+///     produced (DESIGN.md §6, "shard-major merge").
+///
+/// A `GraphView` is one shard's projection of a CSR `Graph`: a zero-copy
+/// window of owned vertices (whose adjacency it reads directly from the
+/// parent's CSR arrays) plus a **halo table** — the sorted global ids of
+/// non-owned vertices adjacent to owned ones (the "ghost" vertices a
+/// distributed shard would replicate) and per-destination-shard cross-edge
+/// counts (the CONGEST-style message budget of one dense round, measured by
+/// experiment E15).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace deltacol {
+
+/// Contiguous balanced split of [0, n) into num_shards ascending ranges.
+/// Empty shards are legal (num_shards may exceed n); shard s owns
+/// [floor(s*n/S), floor((s+1)*n/S)).
+class VertexPartition {
+ public:
+  VertexPartition() = default;
+
+  /// The canonical deterministic partition (see file comment).
+  /// Requires num_shards >= 1; n >= 0.
+  static VertexPartition contiguous(int n, int num_shards);
+
+  /// Resolves a DeltaColoringOptions-style shard count: values < 1 mean
+  /// "unsharded" and clamp to 1.
+  static int resolve_num_shards(int requested);
+
+  int num_vertices() const { return n_; }
+  int num_shards() const { return num_shards_; }
+
+  /// First owned vertex of shard s.
+  int begin(int s) const { return static_cast<int>(int64_begin(s)); }
+  /// One past the last owned vertex of shard s.
+  int end(int s) const { return static_cast<int>(int64_begin(s + 1)); }
+  int size(int s) const { return end(s) - begin(s); }
+
+  /// Owner shard of vertex v, in O(1) (closed form of the inverse of
+  /// begin(); exhaustively pinned against a scan in tests/test_partition).
+  /// Requires 0 <= v < num_vertices().
+  int shard_of(int v) const {
+    return static_cast<int>(
+        ((static_cast<std::int64_t>(v) + 1) * num_shards_ - 1) / n_);
+  }
+
+ private:
+  std::int64_t int64_begin(int s) const {
+    return static_cast<std::int64_t>(s) * n_ / num_shards_;
+  }
+
+  int n_ = 0;
+  int num_shards_ = 1;
+};
+
+/// One shard's view of a Graph: owned contiguous vertex range + halo table.
+/// Zero-copy — adjacency reads go straight to the parent CSR; only the halo
+/// table and the per-shard cross-edge counters are materialized (O(owned
+/// adjacency) build, once).
+class GraphView {
+ public:
+  GraphView() = default;
+
+  /// Builds shard `shard`'s view. The partition must span g's vertices.
+  GraphView(const Graph& g, const VertexPartition& part, int shard);
+
+  const Graph& graph() const { return *g_; }
+  int shard() const { return shard_; }
+
+  int owned_begin() const { return lo_; }
+  int owned_end() const { return hi_; }
+  int num_owned() const { return hi_ - lo_; }
+  bool owns(int v) const { return lo_ <= v && v < hi_; }
+
+  /// Adjacency of an owned vertex (straight from the parent CSR; callers
+  /// split owned vs halo endpoints with owns()).
+  std::span<const int> neighbors(int v) const { return g_->neighbors(v); }
+
+  /// Ghost table: sorted, duplicate-free global ids of every non-owned
+  /// vertex adjacent to an owned one. A distributed shard replicates
+  /// exactly these vertices' state.
+  std::span<const int> halo() const { return {halo_.data(), halo_.size()}; }
+  bool in_halo(int v) const;
+
+  /// Undirected edges with both endpoints owned.
+  std::int64_t internal_edges() const { return internal_edges_; }
+  /// Directed (owned -> dst-shard) cross edges: the number of per-round
+  /// messages this shard sends to `dst` under a dense all-neighbors round.
+  std::int64_t cross_edges(int dst_shard) const {
+    return cross_[static_cast<std::size_t>(dst_shard)];
+  }
+  /// Total directed cross edges leaving this shard.
+  std::int64_t total_cross_edges() const;
+
+ private:
+  const Graph* g_ = nullptr;
+  int shard_ = 0;
+  int lo_ = 0;
+  int hi_ = 0;
+  std::vector<int> halo_;
+  std::vector<std::int64_t> cross_;  // indexed by destination shard
+  std::int64_t internal_edges_ = 0;
+};
+
+/// All shards' views of g under part, indexed by shard id.
+std::vector<GraphView> build_graph_views(const Graph& g,
+                                         const VertexPartition& part);
+
+}  // namespace deltacol

@@ -6,6 +6,16 @@
 // state from its inbox. This is exactly the LOCAL model round structure
 // (unbounded message size: Msg is any value type).
 //
+// Since the shard layer landed, this engine is written as the S = 1
+// instance of the partitioned execution model: the node sweep runs over a
+// whole-graph GraphView and every send is staged through a single-slot
+// Mailbox before delivery (graph/partition.h, runtime/mailbox.h). With one
+// shard the staging slot is filled and drained in ascending sender order —
+// the exact fill order the pre-shard engine used — so this remains the
+// byte-level reference semantics that ParallelSyncEngine (any chunking, any
+// shard count) must reproduce, while sharing the same vocabulary the
+// sharded engine is expressed in.
+//
 // Algorithms that are naturally per-node (Luby's MIS, trial list coloring,
 // Linial's coloring) run through this engine; structural steps with large
 // radii use NeighborhoodOracle instead (see round_ledger.h for why both are
@@ -18,7 +28,9 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/partition.h"
 #include "local/round_ledger.h"
+#include "runtime/mailbox.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -41,6 +53,9 @@ class SyncEngine {
       : graph_(g),
         ledger_(ledger),
         phase_(std::move(phase)),
+        partition_(VertexPartition::contiguous(g.num_vertices(), 1)),
+        view_(g, partition_, 0),
+        mailbox_(&partition_),
         states_(static_cast<std::size_t>(g.num_vertices())) {}
 
   const Graph& graph() const { return graph_; }
@@ -50,20 +65,30 @@ class SyncEngine {
 
   // Executes one synchronous round over the whole graph and charges 1 round.
   void round(const SendFn& send, const RecvFn& receive) {
-    const int n = graph_.num_vertices();
+    const int n = view_.num_owned();
     std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) {
+    // Send phase: the single shard sweeps its owned range in ascending id
+    // order, staging through its mailbox row.
+    mailbox_.clear();
+    for (int v = view_.owned_begin(); v < view_.owned_end(); ++v) {
       for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
         DC_REQUIRE(graph_.has_edge(v, to),
                    "LOCAL model: messages only travel along edges");
-        inboxes[static_cast<std::size_t>(to)].emplace_back(v, std::move(msg));
+        mailbox_.post(0, v, to, std::move(msg));
       }
+    }
+    // Merge phase: drain slot (0, 0) — already in ascending sender order —
+    // then sort each inbox by sender.
+    for (auto& e : mailbox_.slot(0, 0)) {
+      inboxes[static_cast<std::size_t>(e.to)].emplace_back(e.from,
+                                                           std::move(e.msg));
     }
     for (auto& inbox : inboxes) {
       std::sort(inbox.begin(), inbox.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
     }
-    for (int v = 0; v < n; ++v) {
+    // Receive phase over the owned range.
+    for (int v = view_.owned_begin(); v < view_.owned_end(); ++v) {
       receive(v, states_[static_cast<std::size_t>(v)],
               inboxes[static_cast<std::size_t>(v)]);
     }
@@ -74,6 +99,9 @@ class SyncEngine {
   const Graph& graph_;
   RoundLedger& ledger_;
   std::string phase_;
+  VertexPartition partition_;
+  GraphView view_;
+  Mailbox<Msg> mailbox_;
   std::vector<State> states_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "runtime/mailbox.h"
 #include "runtime/parallel_sync_engine.h"
 #include "util/check.h"
 
@@ -28,20 +29,23 @@ struct Msg {
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
                                            std::string_view phase,
-                                           ThreadPool* pool) {
+                                           ThreadPool* pool,
+                                           ShardRuntime* shards) {
   const int n = g.num_vertices();
   ParallelSyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase),
-                                            pool);
+                                            pool, shards);
   // LOCAL-model nodes own private randomness: seed each node once from the
   // caller's stream (private coins, not communication) — serially, so the
   // per-node streams are thread-count independent.
   for (int v = 0; v < n; ++v) engine.state(v).rng = rng.split();
 
+  const int num_shards = shards != nullptr ? shards->num_shards() : 1;
   int remaining = n;
   while (remaining > 0) {
     // Private coin flips — no communication round. Each node draws from its
-    // own Rng: a parallel-for.
-    pooled_for(pool, 0, n, [&](int v) {
+    // own Rng: a shard-major parallel-for (v-private, so any placement
+    // yields the same streams).
+    sharded_for(pool, num_shards, n, [&](int v) {
       NodeState& s = engine.state(v);
       if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
     });

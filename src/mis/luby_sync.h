@@ -19,13 +19,19 @@
 
 namespace deltacol {
 
-class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
+class ThreadPool;     // src/runtime/thread_pool.h; nullptr = serial
+class ShardRuntime;   // src/runtime/mailbox.h; nullptr = unsharded
 
 // `pool` routes the rounds through the ParallelSyncEngine (bit-identical
 // results for any thread count; nullptr runs the serial reference path).
+// `shards` (built over g) additionally routes every round through the
+// partitioned mailbox/transport layer and records per-round message volume
+// on it — still bit-identical for every (shards, threads) combination
+// (tests/test_mailbox.cpp pins this).
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
                                            std::string_view phase,
-                                           ThreadPool* pool = nullptr);
+                                           ThreadPool* pool = nullptr,
+                                           ShardRuntime* shards = nullptr);
 
 }  // namespace deltacol

@@ -1,0 +1,214 @@
+/// \file
+/// Shard-to-shard message passing: the execution layer of the shard runtime
+/// (the data layer is graph/partition.h; ARCHITECTURE.md "The shard layer").
+///
+/// Three pieces:
+///
+///  * `Transport` — the only interface a distributed backend has to
+///    implement. It answers "how many shards" and "run this shard body on
+///    every shard, then barrier". `InProcessTransport` is the in-memory
+///    backend: shards are indexed chunks on the existing ThreadPool, so a
+///    mailbox handed from shard a to shard b is a pointer, not bytes. A
+///    socket/MPI transport replaces exchange() with serialization and
+///    run_shards() with "this rank runs its own shard" — nothing above this
+///    interface changes (that is the point of this layer).
+///
+///  * `Mailbox<Msg>` — per-(source-shard, destination-shard) staging slots
+///    for one round's envelopes. Posting is row-private (shard s writes only
+///    slots (s, *)), draining is column-private (shard d reads only slots
+///    (*, d)), so no synchronization beyond the transport barrier is needed.
+///
+///  * `ShardRuntime` — one graph's shard bundle: partition + views +
+///    transport + cumulative message-volume counters (the CONGEST metric
+///    reported by bench_e15).
+///
+/// **The merge-order rule** (the whole determinism argument, DESIGN.md §6):
+/// within a source shard, envelopes are staged in ascending sender order
+/// (chunk-indexed staging concatenated in chunk order, exactly the
+/// ParallelSyncEngine discipline); destination shards drain slots in
+/// ascending source-shard order. Because the partition's ranges ascend with
+/// the shard id, shard-major concatenation of sender-ordered slots *is*
+/// global ascending sender order — the serial engine's inbox fill order —
+/// so every inbox is byte-identical for every (shards, threads) pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/partition.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+/// Executes shard bodies and moves staged messages between shards. See the
+/// file comment for the backend contract.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_shards() const = 0;
+
+  /// Runs body(0) .. body(S-1), one invocation per shard, and blocks until
+  /// all completed (a barrier). Bodies must write only shard-private state;
+  /// concurrent execution is allowed but not required, and the lowest
+  /// shard's exception wins (the ThreadPool contract), so results never
+  /// depend on backend scheduling.
+  virtual void run_shards(const std::function<void(int)>& body) = 0;
+
+  /// Delivers everything staged since the last exchange. In-process this is
+  /// a no-op — mailboxes live in shared memory and the run_shards barrier
+  /// already published them. A distributed backend serializes each (s, d)
+  /// slot here and hands the bytes to rank d.
+  virtual void exchange() {}
+};
+
+/// The shared-memory backend: S shards fan out as indexed chunks on the
+/// ThreadPool (inline and serial when `pool` is null or single-threaded).
+class InProcessTransport final : public Transport {
+ public:
+  InProcessTransport(int num_shards, ThreadPool* pool);
+
+  int num_shards() const override { return num_shards_; }
+  void run_shards(const std::function<void(int)>& body) override;
+
+ private:
+  int num_shards_;
+  ThreadPool* pool_;
+};
+
+/// One graph's shard bundle: the deterministic partition, each shard's
+/// GraphView, the transport, and cumulative message-volume accounting.
+/// Engines hold a (mutable) pointer; construction is O(n + m) once.
+class ShardRuntime {
+ public:
+  /// In-process runtime: S shards on `pool` (nullptr runs shards serially).
+  ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool);
+  /// Custom backend (tests inject scheduling-perverse transports to pin
+  /// order-independence; a future distributed runtime injects its own).
+  ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool,
+               std::unique_ptr<Transport> transport);
+
+  int num_shards() const { return part_.num_shards(); }
+  const VertexPartition& partition() const { return part_; }
+  const GraphView& view(int shard) const {
+    return views_[static_cast<std::size_t>(shard)];
+  }
+  Transport& transport() const { return *transport_; }
+  ThreadPool* pool() const { return pool_; }
+
+  // --- message-volume accounting (per-round CONGEST metric, bench_e15) ---
+
+  /// Folds one round's per-slot envelope counts (row-major, S*S entries).
+  /// Called by the engine on the calling thread after the receive barrier.
+  void record_round(const std::vector<std::int64_t>& slot_counts);
+
+  std::int64_t rounds_recorded() const { return rounds_; }
+  /// Cumulative envelopes staged in slot (src, dst).
+  std::int64_t slot_messages(int src, int dst) const {
+    return sent_[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(num_shards()) +
+                 static_cast<std::size_t>(dst)];
+  }
+  std::int64_t total_messages() const;
+  /// Messages that crossed a shard boundary (off-diagonal slots) — the part
+  /// a distributed transport pays for.
+  std::int64_t cross_shard_messages() const;
+
+ private:
+  VertexPartition part_;
+  std::vector<GraphView> views_;
+  std::unique_ptr<Transport> transport_;
+  ThreadPool* pool_;
+  std::vector<std::int64_t> sent_;  // row-major (src, dst), cumulative
+  std::int64_t rounds_ = 0;
+};
+
+/// Per-(source-shard, destination-shard) staging slots for one round.
+/// Envelope order within a slot is the poster's responsibility (ascending
+/// sender — see the merge-order rule in the file comment); routing by
+/// destination owner is this class's.
+template <typename Msg>
+class Mailbox {
+ public:
+  struct Envelope {
+    int to;
+    int from;
+    Msg msg;
+  };
+
+  explicit Mailbox(const VertexPartition* part)
+      : part_(part),
+        num_shards_(part->num_shards()),
+        slots_(static_cast<std::size_t>(num_shards_) *
+               static_cast<std::size_t>(num_shards_)) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// Stages one envelope from `from` (owned by src_shard) to `to`; routed
+  /// to slot (src_shard, owner(to)). Only src_shard may call this (row
+  /// privacy).
+  void post(int src_shard, int from, int to, Msg msg) {
+    slot(src_shard, part_->shard_of(to))
+        .push_back(Envelope{to, from, std::move(msg)});
+  }
+
+  std::vector<Envelope>& slot(int src, int dst) {
+    return slots_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(num_shards_) +
+                  static_cast<std::size_t>(dst)];
+  }
+  const std::vector<Envelope>& slot(int src, int dst) const {
+    return slots_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(num_shards_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  /// Per-slot envelope counts, row-major (feeds ShardRuntime::record_round).
+  std::vector<std::int64_t> slot_counts() const {
+    std::vector<std::int64_t> counts;
+    counts.reserve(slots_.size());
+    for (const auto& s : slots_) {
+      counts.push_back(static_cast<std::int64_t>(s.size()));
+    }
+    return counts;
+  }
+
+  /// Empties every slot, keeping capacity (called at round start).
+  void clear() {
+    for (auto& s : slots_) s.clear();
+  }
+
+ private:
+  const VertexPartition* part_;
+  int num_shards_;
+  std::vector<std::vector<Envelope>> slots_;
+};
+
+/// Shard-major sweep: body(v) for every v in [0, n), with each shard's
+/// contiguous range as one placement unit on the pool (the unit a
+/// distributed runtime would pin to a rank). Falls back to pooled_for when
+/// num_shards <= 1. The body must write only v-private state — the same
+/// contract as pooled_for — so every (num_shards, threads) pair yields
+/// identical results; only placement and wall-clock change.
+template <typename Body>
+void sharded_for(ThreadPool* pool, int num_shards, int n, const Body& body) {
+  if (num_shards <= 1) {
+    pooled_for(pool, 0, n, body);
+    return;
+  }
+  const VertexPartition part = VertexPartition::contiguous(n, num_shards);
+  const auto shard_body = [&part, &body](int s) {
+    for (int v = part.begin(s); v < part.end(s); ++v) body(v);
+  };
+  if (pool != nullptr) {
+    pool->parallel_chunks(num_shards, shard_body);
+  } else {
+    for (int s = 0; s < num_shards; ++s) shard_body(s);
+  }
+}
+
+}  // namespace deltacol

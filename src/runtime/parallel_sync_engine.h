@@ -1,9 +1,12 @@
 /// \file
-/// Multi-threaded synchronous message-passing engine.
+/// Multi-threaded, shard-ready synchronous message-passing engine.
 ///
 /// Same execution model and callback contract as local/sync_engine.h — one
 /// synchronous LOCAL round = all nodes send, all messages delivered, all
-/// nodes receive, 1 round charged — but each round runs in two parallel
+/// nodes receive, 1 round charged — with two execution strategies on top of
+/// the serial reference:
+///
+/// **Chunked (no ShardRuntime attached).** Each round runs in two parallel
 /// barriers on a ThreadPool:
 ///
 ///   1. **Parallel send.** Contiguous sender ranges are dispatched as chunks;
@@ -14,11 +17,29 @@
 ///      same comparator the serial engine uses.
 ///   3. **Parallel receive.** Every node consumes its inbox independently.
 ///
-/// Because the merge is keyed on chunk indices and chunk ranges ascend, the
-/// inbox contents handed to receive() are byte-for-byte what SyncEngine
-/// produces — colorings, ledgers and stats are bit-identical for any thread
-/// count, including pool == nullptr (the inline serial path). The test suite
-/// pins this equivalence down (tests/test_runtime.cpp).
+/// **Sharded (a ShardRuntime attached).** The round is expressed against
+/// the shard layer (graph/partition.h + runtime/mailbox.h): every send goes
+/// through the per-(source-shard, destination-shard) mailbox and every
+/// barrier is a Transport::run_shards call, so swapping the in-process
+/// transport for a distributed one changes no engine code:
+///
+///   1. **Sharded send.** Each source shard sweeps its owned contiguous
+///      range (chunk-staged on the pool, concatenated in chunk order — the
+///      same discipline as above) and posts envelopes into its mailbox row.
+///   2. **Exchange.** Transport::exchange() — a no-op in process, the
+///      serialization point for a distributed backend.
+///   3. **Sharded merge + receive.** Each destination shard drains its
+///      mailbox column in ascending source-shard order, sorts its owned
+///      inboxes, and receives.
+///
+/// Because partition ranges ascend with the shard id, shard-major draining
+/// of sender-ordered slots reproduces the global ascending sender order —
+/// the serial fill order — so the inbox contents handed to receive() are
+/// byte-for-byte what SyncEngine produces. Colorings, ledgers and stats are
+/// bit-identical for every (shards, threads) combination, including
+/// pool == nullptr and no runtime (the inline serial path). The test suite
+/// pins this equivalence down (tests/test_runtime.cpp, tests/
+/// test_mailbox.cpp).
 ///
 /// Additional contract on the callbacks (trivially satisfied by per-node
 /// LOCAL algorithms): send(v, state) reads only v's state and the graph;
@@ -27,12 +48,14 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "local/round_ledger.h"
+#include "runtime/mailbox.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 
@@ -47,14 +70,25 @@ class ParallelSyncEngine {
   using RecvFn = std::function<void(int, State&, const Inbox&)>;
 
   /// `pool` may be nullptr (or single-threaded): rounds then execute on the
-  /// calling thread, identically to SyncEngine.
+  /// calling thread, identically to SyncEngine. `shards` may be nullptr:
+  /// rounds then use the chunked strategy; attaching a runtime (built over
+  /// the same graph) routes every round through its mailbox + transport and
+  /// records per-round message volume on it.
   ParallelSyncEngine(const Graph& g, RoundLedger& ledger, std::string phase,
-                     ThreadPool* pool = nullptr)
+                     ThreadPool* pool = nullptr,
+                     ShardRuntime* shards = nullptr)
       : graph_(g),
         ledger_(ledger),
         phase_(std::move(phase)),
         pool_(pool),
-        states_(static_cast<std::size_t>(g.num_vertices())) {}
+        shards_(shards),
+        states_(static_cast<std::size_t>(g.num_vertices())) {
+    if (shards_ != nullptr) {
+      DC_REQUIRE(shards_->partition().num_vertices() == g.num_vertices(),
+                 "shard runtime was built over a different graph");
+      mailbox_.emplace(&shards_->partition());
+    }
+  }
 
   const Graph& graph() const { return graph_; }
 
@@ -63,6 +97,10 @@ class ParallelSyncEngine {
 
   /// Executes one synchronous round over the whole graph and charges 1 round.
   void round(const SendFn& send, const RecvFn& receive) {
+    if (shards_ != nullptr) {
+      round_sharded(send, receive);
+      return;
+    }
     const int n = graph_.num_vertices();
     std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
 
@@ -81,22 +119,10 @@ class ParallelSyncEngine {
     }
 
     // Barrier 1: parallel send into per-chunk staging buffers.
-    struct Envelope {
-      int to;
-      int from;
-      Msg msg;
-    };
     std::vector<std::vector<Envelope>> staged(
         static_cast<std::size_t>(pool_->num_range_chunks(n)));
     pool_->parallel_ranges(0, n, [&](int chunk, int lo, int hi) {
-      auto& buf = staged[static_cast<std::size_t>(chunk)];
-      for (int v = lo; v < hi; ++v) {
-        for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
-          DC_REQUIRE(graph_.has_edge(v, to),
-                     "LOCAL model: messages only travel along edges");
-          buf.push_back(Envelope{to, v, std::move(msg)});
-        }
-      }
+      stage_range(send, lo, hi, staged[static_cast<std::size_t>(chunk)]);
     });
     // Deterministic merge: chunk order == ascending sender order, matching
     // the serial fill exactly.
@@ -119,6 +145,12 @@ class ParallelSyncEngine {
   }
 
  private:
+  struct Envelope {
+    int to;
+    int from;
+    Msg msg;
+  };
+
   static void sort_inbox(Inbox& inbox) {
     std::sort(inbox.begin(), inbox.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -132,10 +164,84 @@ class ParallelSyncEngine {
     }
   }
 
+  // Sends for the contiguous sender range [lo, hi) into `buf`, in sender
+  // order (the staging primitive both strategies share).
+  void stage_range(const SendFn& send, int lo, int hi,
+                   std::vector<Envelope>& buf) {
+    for (int v = lo; v < hi; ++v) {
+      for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
+        DC_REQUIRE(graph_.has_edge(v, to),
+                   "LOCAL model: messages only travel along edges");
+        buf.push_back(Envelope{to, v, std::move(msg)});
+      }
+    }
+  }
+
+  // The sharded strategy (see file comment). Three phases, two transport
+  // barriers; all inter-shard data flows through the mailbox.
+  void round_sharded(const SendFn& send, const RecvFn& receive) {
+    const int n = graph_.num_vertices();
+    const int num_shards = shards_->num_shards();
+    Transport& transport = shards_->transport();
+    Mailbox<Msg>& mailbox = *mailbox_;
+    mailbox.clear();
+    std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
+
+    // Barrier 1: each source shard stages its owned range (chunked on the
+    // pool, nested region) and posts into its mailbox row in sender order.
+    transport.run_shards([&](int s) {
+      const GraphView& view = shards_->view(s);
+      const int lo = view.owned_begin();
+      const int hi = view.owned_end();
+      const int num_chunks =
+          pool_ != nullptr ? pool_->num_range_chunks(hi - lo) : 1;
+      std::vector<std::vector<Envelope>> staged(
+          static_cast<std::size_t>(std::max(1, num_chunks)));
+      pooled_ranges(pool_, lo, hi, [&](int chunk, int clo, int chi) {
+        stage_range(send, clo, chi, staged[static_cast<std::size_t>(chunk)]);
+      });
+      // Chunk ranges ascend, so replaying chunk-major keeps sender order.
+      for (auto& buf : staged) {
+        for (auto& e : buf) {
+          mailbox.post(s, e.from, e.to, std::move(e.msg));
+        }
+      }
+    });
+
+    transport.exchange();
+
+    // Barrier 2: each destination shard drains its mailbox column in
+    // ascending source-shard order (= ascending sender order, because the
+    // partition's ranges ascend), then sorts and receives its owned range.
+    transport.run_shards([&](int d) {
+      const GraphView& view = shards_->view(d);
+      for (int s = 0; s < num_shards; ++s) {
+        for (auto& e : mailbox.slot(s, d)) {
+          inboxes[static_cast<std::size_t>(e.to)].emplace_back(
+              e.from, std::move(e.msg));
+        }
+      }
+      pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
+        sort_inbox(inboxes[static_cast<std::size_t>(v)]);
+      });
+      pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
+        receive(v, states_[static_cast<std::size_t>(v)],
+                inboxes[static_cast<std::size_t>(v)]);
+      });
+    });
+
+    // Volume fold on the calling thread (slot sizes survive the moves
+    // above: moving elements does not shrink the slot vectors).
+    shards_->record_round(mailbox.slot_counts());
+    ledger_.charge(1, phase_);
+  }
+
   const Graph& graph_;
   RoundLedger& ledger_;
   std::string phase_;
   ThreadPool* pool_;
+  ShardRuntime* shards_;
+  std::optional<Mailbox<Msg>> mailbox_;
   std::vector<State> states_;
 };
 

@@ -1,0 +1,200 @@
+// The shard data layer (graph/partition.h): the contiguous deterministic
+// VertexPartition (boundary cases: more shards than vertices/components,
+// singleton and empty shards, the O(1) shard_of closed form) and GraphView
+// halo tables / cross-edge counts pinned against the global adjacency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/partition.h"
+#include "util/rng.h"
+
+namespace deltacol {
+namespace {
+
+TEST(VertexPartition, ContiguousAscendingBalanced) {
+  const VertexPartition p = VertexPartition::contiguous(10, 3);
+  EXPECT_EQ(p.num_shards(), 3);
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(2), 10);
+  int covered = 0;
+  int min_size = 10, max_size = 0;
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(p.begin(s), covered) << "ranges must be contiguous";
+    covered = p.end(s);
+    min_size = std::min(min_size, p.size(s));
+    max_size = std::max(max_size, p.size(s));
+  }
+  EXPECT_EQ(covered, 10);
+  EXPECT_LE(max_size - min_size, 1) << "sizes may differ by at most one";
+}
+
+TEST(VertexPartition, ShardOfClosedFormMatchesRangeScan) {
+  // The O(1) owner formula must agree with the ranges for every (n, S),
+  // including S > n (empty shards) and S == n (singleton shards).
+  for (int n = 1; n <= 40; ++n) {
+    for (int num_shards = 1; num_shards <= 45; ++num_shards) {
+      const VertexPartition p = VertexPartition::contiguous(n, num_shards);
+      for (int v = 0; v < n; ++v) {
+        const int s = p.shard_of(v);
+        ASSERT_TRUE(p.begin(s) <= v && v < p.end(s))
+            << "n=" << n << " S=" << num_shards << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(VertexPartition, MoreShardsThanVerticesYieldsEmptyShards) {
+  const VertexPartition p = VertexPartition::contiguous(3, 10);
+  int nonempty = 0;
+  int covered = 0;
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_GE(p.size(s), 0);
+    EXPECT_LE(p.size(s), 1);
+    if (p.size(s) > 0) ++nonempty;
+    covered += p.size(s);
+  }
+  EXPECT_EQ(nonempty, 3);
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(VertexPartition, ResolveNumShards) {
+  EXPECT_EQ(VertexPartition::resolve_num_shards(-2), 1);
+  EXPECT_EQ(VertexPartition::resolve_num_shards(0), 1);
+  EXPECT_EQ(VertexPartition::resolve_num_shards(1), 1);
+  EXPECT_EQ(VertexPartition::resolve_num_shards(7), 7);
+}
+
+// Brute-force halo of one shard straight from the global adjacency.
+std::vector<int> reference_halo(const Graph& g, int lo, int hi) {
+  std::set<int> halo;
+  for (int v = lo; v < hi; ++v) {
+    for (int u : g.neighbors(v)) {
+      if (u < lo || u >= hi) halo.insert(u);
+    }
+  }
+  return {halo.begin(), halo.end()};
+}
+
+TEST(GraphView, HaloMatchesGlobalAdjacency) {
+  Rng rng(11);
+  const Graph g = random_graph_max_degree(300, 7, 2.0, rng);
+  for (int num_shards : {1, 2, 3, 8}) {
+    const VertexPartition p =
+        VertexPartition::contiguous(g.num_vertices(), num_shards);
+    const auto views = build_graph_views(g, p);
+    ASSERT_EQ(static_cast<int>(views.size()), num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      const GraphView& view = views[static_cast<std::size_t>(s)];
+      const auto expect = reference_halo(g, p.begin(s), p.end(s));
+      const auto halo = view.halo();
+      ASSERT_EQ(halo.size(), expect.size()) << "shard " << s;
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(halo[i], expect[i]) << "shard " << s << " entry " << i;
+      }
+      for (int u : expect) EXPECT_TRUE(view.in_halo(u));
+      // Owned vertices are never in their own halo.
+      for (int v = view.owned_begin(); v < view.owned_end(); ++v) {
+        EXPECT_FALSE(view.in_halo(v));
+      }
+    }
+  }
+}
+
+TEST(GraphView, EdgeCountsPartitionTheGlobalEdgeSet) {
+  Rng rng(13);
+  const Graph g = random_regular(240, 6, rng);
+  for (int num_shards : {1, 2, 5, 8}) {
+    const VertexPartition p =
+        VertexPartition::contiguous(g.num_vertices(), num_shards);
+    const auto views = build_graph_views(g, p);
+    std::int64_t internal = 0;
+    std::int64_t cross_directed = 0;
+    for (const auto& view : views) {
+      internal += view.internal_edges();
+      cross_directed += view.total_cross_edges();
+      // Per-destination counts sum to the total.
+      std::int64_t per_dst = 0;
+      for (int d = 0; d < num_shards; ++d) per_dst += view.cross_edges(d);
+      EXPECT_EQ(per_dst, view.total_cross_edges());
+      // A shard never counts itself as a cross destination.
+      EXPECT_EQ(view.cross_edges(view.shard()), 0);
+    }
+    // Every undirected edge is either internal to exactly one shard or
+    // contributes one directed cross edge at each endpoint's shard.
+    EXPECT_EQ(2 * internal + cross_directed, 2 * g.num_edges())
+        << num_shards << " shards";
+    if (num_shards == 1) {
+      EXPECT_EQ(cross_directed, 0);
+      EXPECT_EQ(internal, g.num_edges());
+    }
+  }
+}
+
+TEST(GraphView, CrossEdgeDestinationsMatchBruteForce) {
+  Rng rng(17);
+  const Graph g = random_graph_max_degree(150, 5, 1.7, rng);
+  const int num_shards = 4;
+  const VertexPartition p =
+      VertexPartition::contiguous(g.num_vertices(), num_shards);
+  const auto views = build_graph_views(g, p);
+  for (int s = 0; s < num_shards; ++s) {
+    std::vector<std::int64_t> expect(static_cast<std::size_t>(num_shards), 0);
+    for (int v = p.begin(s); v < p.end(s); ++v) {
+      for (int u : g.neighbors(v)) {
+        const int d = p.shard_of(u);
+        if (d != s) ++expect[static_cast<std::size_t>(d)];
+      }
+    }
+    for (int d = 0; d < num_shards; ++d) {
+      EXPECT_EQ(views[static_cast<std::size_t>(s)].cross_edges(d),
+                expect[static_cast<std::size_t>(d)])
+          << "shard " << s << " -> " << d;
+    }
+  }
+}
+
+TEST(GraphView, EmptyShardsHaveEmptyViews) {
+  // More shards than vertices (and than components): empty shards must
+  // build fine with empty halos and zero counts.
+  Rng rng(19);
+  const Graph g = random_regular(6, 3, rng);
+  const VertexPartition p = VertexPartition::contiguous(g.num_vertices(), 9);
+  const auto views = build_graph_views(g, p);
+  int empty = 0;
+  for (const auto& view : views) {
+    if (view.num_owned() == 0) {
+      ++empty;
+      EXPECT_TRUE(view.halo().empty());
+      EXPECT_EQ(view.internal_edges(), 0);
+      EXPECT_EQ(view.total_cross_edges(), 0);
+    }
+  }
+  EXPECT_EQ(empty, 3);
+}
+
+TEST(GraphView, MoreShardsThanComponents) {
+  // Two components, eight shards: the partition is id-based, so shards cut
+  // straight through components; halos still reconstruct exactly.
+  Rng rng(23);
+  const Graph a = random_regular(40, 4, rng);
+  const Graph b = random_regular(30, 3, rng);
+  const Graph g = disjoint_union(a, b);
+  const VertexPartition p = VertexPartition::contiguous(g.num_vertices(), 8);
+  const auto views = build_graph_views(g, p);
+  for (const auto& view : views) {
+    const auto expect =
+        reference_halo(g, view.owned_begin(), view.owned_end());
+    ASSERT_EQ(view.halo().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(view.halo()[i], expect[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deltacol

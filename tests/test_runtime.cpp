@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "mis/luby_sync.h"
 #include "mis/mis.h"
 #include "runtime/component_scheduler.h"
+#include "runtime/mailbox.h"
 #include "runtime/parallel_sync_engine.h"
 #include "runtime/thread_pool.h"
 #include "util/rng.h"
@@ -133,6 +135,25 @@ TEST(ParallelSyncEngine, BitIdenticalToSerialEngineOnLuby) {
     const auto mis = luby_mis_message_passing(g, rng, ledger, "mis", &pool);
     EXPECT_EQ(mis, serial_mis) << threads << " threads";
     EXPECT_EQ(ledger.total(), serial_rounds) << threads << " threads";
+  }
+
+  // The sharded engine path must also reproduce the serial reference; the
+  // shard count comes from DELTACOL_SHARDS when the harness (CI --shards
+  // leg) sets it, default 2.
+  const char* env = std::getenv("DELTACOL_SHARDS");
+  const int env_shards = env != nullptr && std::atoi(env) > 1 ? std::atoi(env) : 2;
+  for (int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+    ShardRuntime shards(g, env_shards, pool_ptr);
+    Rng rng(99);
+    RoundLedger ledger;
+    const auto mis =
+        luby_mis_message_passing(g, rng, ledger, "mis", pool_ptr, &shards);
+    EXPECT_EQ(mis, serial_mis) << env_shards << " shards, " << threads
+                               << " threads";
+    EXPECT_EQ(ledger.total(), serial_rounds)
+        << env_shards << " shards, " << threads << " threads";
   }
 }
 
