@@ -23,12 +23,17 @@ namespace {
 
 void usage(std::ostream& out) {
   out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
-         " [--seed S] [--threads T] [--shards S] [--paper-constants]"
-         " [--dot out.dot]\n"
+         " [--seed S] [--threads T] [--shards S] [--congest-bits B]"
+         " [--paper-constants] [--dot out.dot]\n"
          "  --threads T   worker threads for the parallel runtime (0 = all\n"
          "                hardware threads; results are identical for any T)\n"
          "  --shards S    shards for the partitioned execution layer (<= 1 =\n"
-         "                unsharded; results are identical for any S)\n";
+         "                unsharded; results are identical for any S)\n"
+         "  --congest-bits B\n"
+         "                charge rounds under a CONGEST(B) bandwidth cap (B\n"
+         "                bits per edge per round; <= 0 = LOCAL model).\n"
+         "                Accounting only: the coloring is identical for\n"
+         "                any B, only the reported round totals change\n";
 }
 
 }  // namespace
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
       opt.num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (a == "--shards" && i + 1 < argc) {
       opt.num_shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (a == "--congest-bits" && i + 1 < argc) {
+      opt.congest_bits = std::strtoll(argv[++i], nullptr, 10);
     } else if (a == "--paper-constants") {
       opt.use_paper_constants = true;
     } else if (a == "--dot" && i + 1 < argc) {

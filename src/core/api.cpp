@@ -48,6 +48,9 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
   DeltaColoringResult res;
   res.delta = delta;
   res.coloring.assign(static_cast<std::size_t>(n), kUncolored);
+  // CONGEST(B) accounting mode (api.h): configure the top-level ledger
+  // before any charge; per-component ledgers inherit below.
+  res.ledger.set_congest_bits(opt.congest_bits);
   Rng rng(seed);
 
   // Symmetry-breaking schedule: a proper (Delta+1)-coloring computed once,
@@ -86,6 +89,7 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
   comp_rngs.reserve(comps.size());
   for (int ci = 0; ci < num_comps; ++ci) comp_rngs.push_back(rng.split());
   std::vector<RoundLedger> comp_ledgers(comps.size());
+  for (auto& cl : comp_ledgers) cl.set_congest_bits(opt.congest_bits);
   std::vector<PhaseStats> comp_stats(comps.size());
 
   const ComponentScheduler scheduler(pool);

@@ -96,6 +96,18 @@ struct DeltaColoringOptions {
   /// every (num_shards, num_threads) pair (enforced by the shard golden
   /// tests in tests/test_parallel_determinism.cpp). <= 1 runs unsharded.
   int num_shards = 1;
+
+  /// CONGEST(B) bandwidth cap in bits per directed edge per round
+  /// (local/round_ledger.h). <= 0 (the default) runs in the LOCAL model:
+  /// every message round costs 1. A positive B puts every ledger of the run
+  /// (including per-component and scheduler-private child ledgers) into
+  /// congest mode: a message round whose heaviest directed edge carries W
+  /// wire bits (MessageSize, runtime/message_size.h) is charged
+  /// ceil(W / B) rounds. Pure accounting overlay — execution, colorings and
+  /// stats are bit-for-bit identical to LOCAL for every B; only the charged
+  /// round totals grow, monotonically as B shrinks (enforced by
+  /// tests/test_congest.cpp).
+  std::int64_t congest_bits = 0;
 };
 
 /// Per-phase observability of one delta_color run: how much work each phase

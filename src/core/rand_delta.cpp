@@ -341,7 +341,8 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
           comp_parents[static_cast<std::size_t>(i)].front();
     }
     const std::int64_t max_rounds = scheduler.run_max_total_owner_placed(
-        n, ctx.num_shards, comp_owner, leftover_job);
+        n, ctx.num_shards, comp_owner, leftover_job,
+        ctx.ledger.congest_bits());
     for (const auto& cs : comp_stats) merge_component_stats(ctx.stats, cs);
     ctx.ledger.charge(max_rounds, "rand/6-small-components");
     // Deferred Lemma-27 fallback (see internal.h): the repair may color

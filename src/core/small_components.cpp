@@ -130,6 +130,7 @@ bool color_small_component(ComponentContext& ctx, Coloring& c,
 
   // DCCs of radius <= R inside the component.
   RoundLedger det_ledger;
+  det_ledger.set_congest_bits(ctx.ledger.congest_bits());
   const DccDetection det =
       detect_dccs(comp, R, det_ledger, "small/dcc-detect", ctx.pool);
   ctx.ledger.merge(det_ledger);

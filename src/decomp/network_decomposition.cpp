@@ -124,6 +124,7 @@ NetworkDecomposition random_shift_decomposition(const Graph& g, double beta,
     }
   }
   RoundLedger cluster_ledger;
+  cluster_ledger.set_congest_bits(ledger.congest_bits());
   Coloring cc(static_cast<std::size_t>(k), kUncolored);
   const LinialResult lin = linial_coloring(cg, cluster_ledger);
   rand_list_coloring(cg, lists, lin.coloring, lin.num_colors, rng, cc,

@@ -9,6 +9,7 @@ namespace deltacol {
 RoundLedger::RoundLedger(const RoundLedger& other) {
   std::lock_guard<std::mutex> lock(other.mu_);
   total_ = other.total_;
+  congest_bits_ = other.congest_bits_;
   phases_ = other.phases_;
 }
 
@@ -17,16 +18,43 @@ RoundLedger& RoundLedger::operator=(const RoundLedger& other) {
   // Copy under the source lock first so self-consistent state is taken even
   // if the source is being charged concurrently.
   std::int64_t total;
+  std::int64_t congest_bits;
   std::vector<PhaseTotal> phases;
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     total = other.total_;
+    congest_bits = other.congest_bits_;
     phases = other.phases_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   total_ = total;
+  congest_bits_ = congest_bits;
   phases_ = std::move(phases);
   return *this;
+}
+
+void RoundLedger::set_congest_bits(std::int64_t bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  congest_bits_ = bits > 0 ? bits : 0;
+}
+
+std::int64_t RoundLedger::congest_bits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return congest_bits_;
+}
+
+std::int64_t RoundLedger::message_round_cost(std::int64_t max_edge_bits) const {
+  DC_REQUIRE(max_edge_bits >= 0, "negative edge load");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (congest_bits_ <= 0 || max_edge_bits <= congest_bits_) return 1;
+  return (max_edge_bits + congest_bits_ - 1) / congest_bits_;
+}
+
+void RoundLedger::charge_message_round(std::int64_t max_edge_bits,
+                                       std::string_view phase,
+                                       std::int64_t multiplier) {
+  DC_REQUIRE(multiplier >= 1, "multiplier must be >= 1");
+  charge(message_round_cost(max_edge_bits) * multiplier, phase);
 }
 
 void RoundLedger::charge_locked(std::int64_t rounds, std::string_view phase) {

@@ -36,6 +36,18 @@ namespace deltacol {
 /// Accumulates LOCAL-model communication rounds, tagged by algorithm phase.
 /// This is the library's cost model: results are compared by ledger totals,
 /// never by wall-clock time.
+///
+/// **CongestLedger mode.** set_congest_bits(B) with B > 0 switches the
+/// ledger from LOCAL (unbounded messages) to CONGEST(B): a synchronous
+/// message round whose heaviest directed edge carries `bits` bits is charged
+/// ceil(bits / B) sub-rounds — the rounds a B-bit-per-edge network needs to
+/// move the same data, with the per-round maximum taken across edges because
+/// all edges transfer in parallel. B <= 0 (the default) is the LOCAL model,
+/// i.e. B = infinity: every message round charges exactly 1, so LOCAL round
+/// counts are recovered exactly. The mode only changes what
+/// charge_message_round() records — execution, merge order, colorings and
+/// stats are untouched, which is what makes CONGEST-vs-LOCAL differential
+/// testing meaningful (tests/test_congest.cpp).
 class RoundLedger {
  public:
   RoundLedger() = default;
@@ -44,6 +56,26 @@ class RoundLedger {
 
   /// Charge \p rounds communication rounds to the named phase.
   void charge(std::int64_t rounds, std::string_view phase);
+
+  /// Enters CONGEST(B) mode (bits > 0) or LOCAL mode (bits <= 0, stored as
+  /// 0). Configuration, not a charge: it survives reset() and is copied by
+  /// the copy operations, but merge() never propagates it.
+  void set_congest_bits(std::int64_t bits);
+  /// The B-bit cap; 0 means LOCAL / unbounded.
+  std::int64_t congest_bits() const;
+
+  /// Cost of one synchronous message round whose heaviest directed edge
+  /// carries \p max_edge_bits: 1 in LOCAL mode, max(1, ceil(bits / B)) in
+  /// CONGEST(B) mode (a round is charged even when nothing was sent — the
+  /// barrier happened). Monotone non-increasing in B, pinning the round
+  /// inflation the differential harness asserts.
+  std::int64_t message_round_cost(std::int64_t max_edge_bits) const;
+
+  /// charge(message_round_cost(max_edge_bits) * multiplier, phase):
+  /// `multiplier` is the rounds_per_step factor of simulated power-graph /
+  /// virtual-graph rounds (see mis/mis.h).
+  void charge_message_round(std::int64_t max_edge_bits, std::string_view phase,
+                            std::int64_t multiplier = 1);
 
   /// Total rounds charged so far, across all phases.
   std::int64_t total() const;
@@ -68,7 +100,7 @@ class RoundLedger {
   /// Human-readable multi-line report.
   std::string report() const;
 
-  /// Drops all charges; the ledger is as if freshly constructed.
+  /// Drops all charges; the congest mode (configuration) is kept.
   void reset();
 
  private:
@@ -76,6 +108,7 @@ class RoundLedger {
 
   mutable std::mutex mu_;
   std::int64_t total_ = 0;
+  std::int64_t congest_bits_ = 0;  // 0 = LOCAL (unbounded messages)
   std::vector<PhaseTotal> phases_;
 };
 

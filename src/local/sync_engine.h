@@ -4,7 +4,10 @@
 // every node produces messages for its neighbors from its current state,
 // then all messages are delivered simultaneously and every node updates its
 // state from its inbox. This is exactly the LOCAL model round structure
-// (unbounded message size: Msg is any value type).
+// (Msg is any value type). When the ledger is in CONGEST(B) mode
+// (round_ledger.h) the executed round is unchanged but its charge becomes
+// ceil(heaviest-edge-bits / B): bandwidth is an accounting overlay, never an
+// execution constraint, so CONGEST runs stay bit-identical to LOCAL runs.
 //
 // Since the shard layer landed, this engine is written as the S = 1
 // instance of the partitioned execution model: the node sweep runs over a
@@ -31,6 +34,7 @@
 #include "graph/partition.h"
 #include "local/round_ledger.h"
 #include "runtime/mailbox.h"
+#include "runtime/message_size.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -87,12 +91,21 @@ class SyncEngine {
       std::sort(inbox.begin(), inbox.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
     }
+    // CONGEST accounting (round_ledger.h): the heaviest directed edge sets
+    // the round's cost. Pure reads of the merged inboxes — computed only in
+    // congest mode, and never touching merge order or receive semantics.
+    std::int64_t max_edge_bits = 0;
+    if (ledger_.congest_bits() > 0) {
+      for (const auto& inbox : inboxes) {
+        max_edge_bits = std::max(max_edge_bits, max_edge_bits_in_inbox(inbox));
+      }
+    }
     // Receive phase over the owned range.
     for (int v = view_.owned_begin(); v < view_.owned_end(); ++v) {
       receive(v, states_[static_cast<std::size_t>(v)],
               inboxes[static_cast<std::size_t>(v)]);
     }
-    ledger_.charge(1, phase_);
+    ledger_.charge_message_round(max_edge_bits, phase_);
   }
 
  private:

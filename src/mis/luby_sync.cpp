@@ -26,6 +26,15 @@ struct Msg {
 
 }  // namespace
 
+// Wire size registration (runtime/message_size.h): 1-bit flag + 64-bit
+// priority, matching the kLubyMessageBits constant the tests pin.
+template <>
+struct MessageSize<Msg> {
+  static std::int64_t bits(const Msg&) { return kLubyMessageBits; }
+};
+static_assert(kLubyMessageBits == 1 + 64,
+              "Luby wire format: 1-bit join flag + 64-bit priority");
+
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
                                            std::string_view phase,

@@ -10,6 +10,7 @@
 // charge identical round counts per iteration structure.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -21,6 +22,13 @@ namespace deltacol {
 
 class ThreadPool;     // src/runtime/thread_pool.h; nullptr = serial
 class ShardRuntime;   // src/runtime/mailbox.h; nullptr = unsharded
+
+// Wire size of one Luby message under the MessageSize convention
+// (runtime/message_size.h): a 1-bit join flag plus a 64-bit priority. The
+// CONGEST(B) cost of each Luby round is ceil(kLubyMessageBits / B) — tests
+// pin byte counters against this constant (tests/test_message_size.cpp,
+// tests/test_fuzz.cpp).
+inline constexpr std::int64_t kLubyMessageBits = 65;
 
 // `pool` routes the rounds through the ParallelSyncEngine (bit-identical
 // results for any thread count; nullptr runs the serial reference path).

@@ -60,8 +60,12 @@ std::vector<bool> luby_mis(const Graph& g, Rng& rng, RoundLedger& ledger,
         }
       }
     }
-    // One exchange of priorities + one notification of joiners.
-    ledger.charge(2 * rounds_per_step, phase);
+    // One exchange of priorities (64-bit payloads) + one notification of
+    // joiners (1-bit). Under CONGEST(B) each message round is charged by its
+    // heaviest edge load (round_ledger.h); in LOCAL both cost 1, recovering
+    // the original 2 * rounds_per_step.
+    ledger.charge_message_round(64, phase, rounds_per_step);
+    ledger.charge_message_round(1, phase, rounds_per_step);
   }
   return in_set;
 }
@@ -82,7 +86,9 @@ std::vector<bool> mis_from_coloring(const Graph& g, const Coloring& schedule,
       in_set[static_cast<std::size_t>(v)] = true;
       for (int u : g.neighbors(v)) blocked[static_cast<std::size_t>(u)] = true;
     }
-    ledger.charge(rounds_per_step, phase);
+    // Each schedule step is one 1-bit "I joined" notification round: it
+    // always fits any B, so CONGEST charges match LOCAL exactly.
+    ledger.charge_message_round(1, phase, rounds_per_step);
   }
   return in_set;
 }

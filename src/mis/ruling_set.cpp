@@ -138,6 +138,7 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
       // Linial's coloring of the auxiliary graph: each of its rounds is one
       // exchange over distance alpha-1, charged accordingly.
       RoundLedger aux_ledger;
+      aux_ledger.set_congest_bits(ledger.congest_bits());
       const LinialResult lin = linial_coloring(aux, aux_ledger);
       ledger.charge(aux_ledger.total() * per_step, phase);
       in_set = mis_from_coloring(aux, lin.coloring, lin.num_colors, ledger,

@@ -19,9 +19,11 @@ void ComponentScheduler::run(int count,
 }
 
 std::int64_t ComponentScheduler::run_max_total(
-    int count, const std::function<void(int, RoundLedger&)>& job) const {
+    int count, const std::function<void(int, RoundLedger&)>& job,
+    std::int64_t congest_bits) const {
   if (count <= 0) return 0;
   std::vector<RoundLedger> children(static_cast<std::size_t>(count));
+  for (auto& child : children) child.set_congest_bits(congest_bits);
   run(count,
       [&](int i) { job(i, children[static_cast<std::size_t>(i)]); });
   std::int64_t best = 0;
@@ -69,10 +71,12 @@ void ComponentScheduler::run_placed(const std::vector<int>& placement,
 
 std::int64_t ComponentScheduler::run_max_total_placed(
     const std::vector<int>& placement, Transport& transport,
-    const std::function<void(int, RoundLedger&)>& job) const {
+    const std::function<void(int, RoundLedger&)>& job,
+    std::int64_t congest_bits) const {
   const int count = static_cast<int>(placement.size());
   if (count <= 0) return 0;
   std::vector<RoundLedger> children(static_cast<std::size_t>(count));
+  for (auto& child : children) child.set_congest_bits(congest_bits);
   run_placed(placement, transport,
              [&](int i) { job(i, children[static_cast<std::size_t>(i)]); });
   std::int64_t best = 0;
@@ -107,13 +111,15 @@ void ComponentScheduler::run_owner_placed(
 
 std::int64_t ComponentScheduler::run_max_total_owner_placed(
     int n, int num_shards, const std::vector<int>& owner_vertex,
-    const std::function<void(int, RoundLedger&)>& job) const {
+    const std::function<void(int, RoundLedger&)>& job,
+    std::int64_t congest_bits) const {
   if (num_shards <= 1) {
-    return run_max_total(static_cast<int>(owner_vertex.size()), job);
+    return run_max_total(static_cast<int>(owner_vertex.size()), job,
+                         congest_bits);
   }
   InProcessTransport transport(num_shards, pool_);
   return run_max_total_placed(owner_placement(n, num_shards, owner_vertex),
-                              transport, job);
+                              transport, job, congest_bits);
 }
 
 void charge_max_component(RoundLedger& parent,

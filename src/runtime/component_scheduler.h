@@ -48,8 +48,14 @@ class ComponentScheduler {
   /// their own phase tag; the per-child phase breakdowns are deliberately
   /// discarded (the max is a single network-time figure, not a merge).
   /// Exceptions follow run(): the lowest-index job's is rethrown.
+  ///
+  /// `congest_bits` propagates the caller's CONGEST(B) mode onto each
+  /// index-private child ledger before its job runs (0 = LOCAL) — child
+  /// ledgers are created here, so the mode cannot be inherited any other
+  /// way, and merge() deliberately never copies configuration.
   std::int64_t run_max_total(
-      int count, const std::function<void(int, RoundLedger&)>& job) const;
+      int count, const std::function<void(int, RoundLedger&)>& job,
+      std::int64_t congest_bits = 0) const;
 
   /// Shard-placed fan-out (the distributed execution shape): job i runs on
   /// its home shard `placement[i]`, shards execute through `transport`
@@ -69,7 +75,8 @@ class ComponentScheduler {
   /// run_max_total with shard placement; see run_placed / run_max_total.
   std::int64_t run_max_total_placed(
       const std::vector<int>& placement, Transport& transport,
-      const std::function<void(int, RoundLedger&)>& job) const;
+      const std::function<void(int, RoundLedger&)>& job,
+      std::int64_t congest_bits = 0) const;
 
   /// The canonical home-shard convenience used by the api-level component
   /// fan-out and the Phase-(6) leftover fan-out: job i is placed on the
@@ -82,7 +89,8 @@ class ComponentScheduler {
                         const std::function<void(int)>& job) const;
   std::int64_t run_max_total_owner_placed(
       int n, int num_shards, const std::vector<int>& owner_vertex,
-      const std::function<void(int, RoundLedger&)>& job) const;
+      const std::function<void(int, RoundLedger&)>& job,
+      std::int64_t congest_bits = 0) const;
 
  private:
   ThreadPool* pool_;

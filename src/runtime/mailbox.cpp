@@ -30,22 +30,36 @@ ShardRuntime::ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool,
       pool_(pool),
       sent_(static_cast<std::size_t>(part_.num_shards()) *
                 static_cast<std::size_t>(part_.num_shards()),
-            0) {
+            0),
+      sent_bits_(sent_.size(), 0) {
   DC_REQUIRE(transport_ != nullptr, "null transport");
   DC_REQUIRE(transport_->num_shards() == part_.num_shards(),
              "transport shard count disagrees with the partition");
 }
 
-void ShardRuntime::record_round(const std::vector<std::int64_t>& slot_counts) {
+void ShardRuntime::record_round(
+    const std::vector<std::int64_t>& slot_counts,
+    const std::vector<std::int64_t>& slot_bit_totals) {
   DC_REQUIRE(slot_counts.size() == sent_.size(),
              "slot count vector has the wrong shape");
-  for (std::size_t i = 0; i < sent_.size(); ++i) sent_[i] += slot_counts[i];
+  DC_REQUIRE(slot_bit_totals.size() == sent_bits_.size(),
+             "slot bit vector has the wrong shape");
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    sent_[i] += slot_counts[i];
+    sent_bits_[i] += slot_bit_totals[i];
+  }
   ++rounds_;
 }
 
 std::int64_t ShardRuntime::total_messages() const {
   std::int64_t total = 0;
   for (std::int64_t c : sent_) total += c;
+  return total;
+}
+
+std::int64_t ShardRuntime::total_bits() const {
+  std::int64_t total = 0;
+  for (std::int64_t b : sent_bits_) total += b;
   return total;
 }
 
@@ -58,6 +72,23 @@ std::int64_t ShardRuntime::cross_shard_messages() const {
     }
   }
   return total;
+}
+
+std::int64_t ShardRuntime::cross_shard_bits() const {
+  const int s = num_shards();
+  std::int64_t total = 0;
+  for (int a = 0; a < s; ++a) {
+    for (int b = 0; b < s; ++b) {
+      if (a != b) total += slot_bits(a, b);
+    }
+  }
+  return total;
+}
+
+void ShardRuntime::reset_counters() {
+  for (auto& c : sent_) c = 0;
+  for (auto& b : sent_bits_) b = 0;
+  rounds_ = 0;
 }
 
 }  // namespace deltacol

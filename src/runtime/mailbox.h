@@ -19,8 +19,10 @@
 ///    (*, d)), so no synchronization beyond the transport barrier is needed.
 ///
 ///  * `ShardRuntime` — one graph's shard bundle: partition + views +
-///    transport + cumulative message-volume counters (the CONGEST metric
-///    reported by bench_e15).
+///    transport + cumulative message-volume counters, in envelopes AND in
+///    wire bits (MessageSize, runtime/message_size.h) — the CONGEST metrics
+///    reported by bench_e15/bench_e16 and the serialization sizing a socket
+///    Transport needs.
 ///
 /// **The merge-order rule** (the whole determinism argument, DESIGN.md §6):
 /// within a source shard, envelopes are staged in ascending sender order
@@ -39,6 +41,7 @@
 #include <vector>
 
 #include "graph/partition.h"
+#include "runtime/message_size.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 
@@ -100,30 +103,52 @@ class ShardRuntime {
   Transport& transport() const { return *transport_; }
   ThreadPool* pool() const { return pool_; }
 
-  // --- message-volume accounting (per-round CONGEST metric, bench_e15) ---
+  // --- message-volume accounting (per-round CONGEST metrics, bench_e15 /
+  // --- bench_e16): cumulative per-(src, dst) envelope counts and wire bits.
 
-  /// Folds one round's per-slot envelope counts (row-major, S*S entries).
-  /// Called by the engine on the calling thread after the receive barrier.
-  void record_round(const std::vector<std::int64_t>& slot_counts);
+  /// Folds one round's per-slot envelope counts and wire-bit totals (both
+  /// row-major, S*S entries — Mailbox::slot_counts() / slot_bits()). Called
+  /// by the engine on the calling thread after the receive barrier.
+  void record_round(const std::vector<std::int64_t>& slot_counts,
+                    const std::vector<std::int64_t>& slot_bit_totals);
 
   std::int64_t rounds_recorded() const { return rounds_; }
   /// Cumulative envelopes staged in slot (src, dst).
   std::int64_t slot_messages(int src, int dst) const {
-    return sent_[static_cast<std::size_t>(src) *
-                     static_cast<std::size_t>(num_shards()) +
-                 static_cast<std::size_t>(dst)];
+    return sent_[slot_index(src, dst)];
+  }
+  /// Cumulative wire bits staged in slot (src, dst) (MessageSize sizing —
+  /// the bytes a serializing transport would frame are ceil(bits / 8)).
+  std::int64_t slot_bits(int src, int dst) const {
+    return sent_bits_[slot_index(src, dst)];
   }
   std::int64_t total_messages() const;
+  std::int64_t total_bits() const;
   /// Messages that crossed a shard boundary (off-diagonal slots) — the part
   /// a distributed transport pays for.
   std::int64_t cross_shard_messages() const;
+  /// Wire bits that crossed a shard boundary.
+  std::int64_t cross_shard_bits() const;
+
+  /// Zeroes every cumulative counter (messages, bits, rounds) so one
+  /// runtime — whose partition/view/transport construction is O(n + m) —
+  /// can be reused across independent workloads with per-workload
+  /// accounting. Views, partition and transport are untouched.
+  void reset_counters();
 
  private:
+  std::size_t slot_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_shards()) +
+           static_cast<std::size_t>(dst);
+  }
+
   VertexPartition part_;
   std::vector<GraphView> views_;
   std::unique_ptr<Transport> transport_;
   ThreadPool* pool_;
-  std::vector<std::int64_t> sent_;  // row-major (src, dst), cumulative
+  std::vector<std::int64_t> sent_;       // row-major (src, dst), cumulative
+  std::vector<std::int64_t> sent_bits_;  // same shape, MessageSize bits
   std::int64_t rounds_ = 0;
 };
 
@@ -144,16 +169,21 @@ class Mailbox {
       : part_(part),
         num_shards_(part->num_shards()),
         slots_(static_cast<std::size_t>(num_shards_) *
-               static_cast<std::size_t>(num_shards_)) {}
+               static_cast<std::size_t>(num_shards_)),
+        slot_bits_(slots_.size(), 0) {}
 
   int num_shards() const { return num_shards_; }
 
   /// Stages one envelope from `from` (owned by src_shard) to `to`; routed
   /// to slot (src_shard, owner(to)). Only src_shard may call this (row
-  /// privacy).
+  /// privacy — which also makes the per-slot bit tally race-free). The
+  /// envelope's wire size is accounted at post time via MessageSize<Msg>.
   void post(int src_shard, int from, int to, Msg msg) {
-    slot(src_shard, part_->shard_of(to))
-        .push_back(Envelope{to, from, std::move(msg)});
+    const int dst_shard = part_->shard_of(to);
+    slot_bits_[static_cast<std::size_t>(src_shard) *
+                   static_cast<std::size_t>(num_shards_) +
+               static_cast<std::size_t>(dst_shard)] += message_bits(msg);
+    slot(src_shard, dst_shard).push_back(Envelope{to, from, std::move(msg)});
   }
 
   std::vector<Envelope>& slot(int src, int dst) {
@@ -177,15 +207,22 @@ class Mailbox {
     return counts;
   }
 
-  /// Empties every slot, keeping capacity (called at round start).
+  /// Per-slot wire-bit totals of this round, row-major (the byte-accounting
+  /// companion of slot_counts(), accumulated at post time).
+  const std::vector<std::int64_t>& slot_bits() const { return slot_bits_; }
+
+  /// Empties every slot and zeroes the bit tallies, keeping capacity
+  /// (called at round start).
   void clear() {
     for (auto& s : slots_) s.clear();
+    for (auto& b : slot_bits_) b = 0;
   }
 
  private:
   const VertexPartition* part_;
   int num_shards_;
   std::vector<std::vector<Envelope>> slots_;
+  std::vector<std::int64_t> slot_bits_;  // row-major, this round's bits
 };
 
 /// Shard-major sweep: body(v) for every v in [0, n), with each shard's

@@ -56,6 +56,7 @@
 #include "graph/graph.h"
 #include "local/round_ledger.h"
 #include "runtime/mailbox.h"
+#include "runtime/message_size.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 
@@ -104,17 +105,26 @@ class ParallelSyncEngine {
     const int n = graph_.num_vertices();
     std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
 
+    const bool congest = ledger_.congest_bits() > 0;
+
     if (pool_ == nullptr || pool_->num_threads() <= 1) {
       // Serial path: the reference semantics (mirrors SyncEngine::round).
       for (int v = 0; v < n; ++v) {
         deliver(v, send(v, states_[static_cast<std::size_t>(v)]), inboxes);
       }
-      for (auto& inbox : inboxes) sort_inbox(inbox);
+      std::int64_t max_edge_bits = 0;
+      for (auto& inbox : inboxes) {
+        sort_inbox(inbox);
+        if (congest) {
+          max_edge_bits =
+              std::max(max_edge_bits, max_edge_bits_in_inbox(inbox));
+        }
+      }
       for (int v = 0; v < n; ++v) {
         receive(v, states_[static_cast<std::size_t>(v)],
                 inboxes[static_cast<std::size_t>(v)]);
       }
-      ledger_.charge(1, phase_);
+      ledger_.charge_message_round(max_edge_bits, phase_);
       return;
     }
 
@@ -132,16 +142,26 @@ class ParallelSyncEngine {
                                                              std::move(e.msg));
       }
     }
+    // CONGEST accounting alongside the sort: a v-private write per vertex,
+    // folded by max below — order-free, so the charge is thread-invariant.
+    std::vector<std::int64_t> edge_bits(
+        congest ? static_cast<std::size_t>(n) : 0, 0);
     pool_->parallel_for(0, n, [&](int v) {
       sort_inbox(inboxes[static_cast<std::size_t>(v)]);
+      if (congest) {
+        edge_bits[static_cast<std::size_t>(v)] =
+            max_edge_bits_in_inbox(inboxes[static_cast<std::size_t>(v)]);
+      }
     });
+    std::int64_t max_edge_bits = 0;
+    for (std::int64_t b : edge_bits) max_edge_bits = std::max(max_edge_bits, b);
 
     // Barrier 2: parallel receive; each node touches only its own state.
     pool_->parallel_for(0, n, [&](int v) {
       receive(v, states_[static_cast<std::size_t>(v)],
               inboxes[static_cast<std::size_t>(v)]);
     });
-    ledger_.charge(1, phase_);
+    ledger_.charge_message_round(max_edge_bits, phase_);
   }
 
  private:
@@ -182,10 +202,15 @@ class ParallelSyncEngine {
   void round_sharded(const SendFn& send, const RecvFn& receive) {
     const int n = graph_.num_vertices();
     const int num_shards = shards_->num_shards();
+    const bool congest = ledger_.congest_bits() > 0;
     Transport& transport = shards_->transport();
     Mailbox<Msg>& mailbox = *mailbox_;
     mailbox.clear();
     std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
+    // Per-vertex CONGEST loads: each destination shard writes only its owned
+    // range (shard-private), the fold below runs after the barrier.
+    std::vector<std::int64_t> edge_bits(
+        congest ? static_cast<std::size_t>(n) : 0, 0);
 
     // Barrier 1: each source shard stages its owned range (chunked on the
     // pool, nested region) and posts into its mailbox row in sender order.
@@ -223,6 +248,10 @@ class ParallelSyncEngine {
       }
       pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
         sort_inbox(inboxes[static_cast<std::size_t>(v)]);
+        if (congest) {
+          edge_bits[static_cast<std::size_t>(v)] =
+              max_edge_bits_in_inbox(inboxes[static_cast<std::size_t>(v)]);
+        }
       });
       pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
         receive(v, states_[static_cast<std::size_t>(v)],
@@ -230,10 +259,13 @@ class ParallelSyncEngine {
       });
     });
 
-    // Volume fold on the calling thread (slot sizes survive the moves
-    // above: moving elements does not shrink the slot vectors).
-    shards_->record_round(mailbox.slot_counts());
-    ledger_.charge(1, phase_);
+    // Volume + CONGEST folds on the calling thread (slot sizes survive the
+    // moves above: moving elements does not shrink the slot vectors). The
+    // max fold is order-free, so the charge is (shards, threads)-invariant.
+    shards_->record_round(mailbox.slot_counts(), mailbox.slot_bits());
+    std::int64_t max_edge_bits = 0;
+    for (std::int64_t b : edge_bits) max_edge_bits = std::max(max_edge_bits, b);
+    ledger_.charge_message_round(max_edge_bits, phase_);
   }
 
   const Graph& graph_;

@@ -1,14 +1,26 @@
 // Randomized end-to-end fuzzing: random graph family x random algorithm x
-// random options. The single invariant that must survive everything:
-// delta_color returns a proper Delta-coloring (or throws ContractViolation
-// for inputs it documents as rejected).
+// random options (including random CONGEST caps and runtime shapes). The
+// invariant that must survive everything: delta_color returns a proper
+// Delta-coloring (or throws ContractViolation for inputs it documents as
+// rejected) — and the shard runtime's byte counters stay consistent with
+// the messages actually posted.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/api.h"
+#include "graph/partition.h"
 #include "graph/structure.h"
 #include "graph/components.h"
 #include "graph/generators.h"
 #include "graph/ops.h"
+#include "mis/luby_sync.h"
+#include "mis/mis.h"
+#include "runtime/mailbox.h"
+#include "runtime/parallel_sync_engine.h"
+#include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -57,6 +69,14 @@ DeltaColoringOptions random_options(Rng& rng) {
   opt.use_paper_constants = rng.next_bool(0.2);
   opt.list_engine = rng.next_bool(0.5) ? ListEngine::kDeterministic
                                        : ListEngine::kRandomized;
+  // Random runtime shapes and CONGEST caps: both are observability /
+  // placement knobs that must never change what delta_color computes.
+  const int shapes[] = {1, 2, 8};
+  opt.num_threads = shapes[rng.next_int(0, 2)];
+  opt.num_shards = shapes[rng.next_int(0, 2)];
+  if (rng.next_bool(0.5)) {
+    opt.congest_bits = rng.next_int(1, 512);  // tight, uneven caps
+  }
   return opt;
 }
 
@@ -95,6 +115,80 @@ TEST_P(FuzzTest, EveryRunYieldsValidColoringOrDocumentedRejection) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1, 13));
+
+// CONGEST byte-counter consistency under fuzz: for random graphs, shard
+// counts and thread counts, the ShardRuntime's wire-bit counters must equal
+// MessageSize times the envelope counts, split per slot exactly as the
+// GraphViews count internal/cross edges — and the charged rounds must be
+// the engine's message_round_cost of the actual heaviest edge load.
+TEST_P(FuzzTest, ByteCountersConsistentWithPostedMessages) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = random_workload(rng);
+    const int shapes[] = {1, 2, 8};
+    const int num_shards = shapes[rng.next_int(0, 2)];
+    const int threads = shapes[rng.next_int(0, 2)];
+    const std::int64_t B = rng.next_bool(0.5) ? rng.next_int(1, 128) : 0;
+    ThreadPool pool(threads);
+    ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+    ShardRuntime shards(g, num_shards, pool_ptr);
+
+    // One flood round: every node sends its id (32 bits) to every neighbor,
+    // so every directed edge carries exactly one 32-bit message.
+    RoundLedger ledger;
+    ledger.set_congest_bits(B);
+    ParallelSyncEngine<int, std::uint32_t> engine(g, ledger, "flood",
+                                                  pool_ptr, &shards);
+    engine.round(
+        [&g](int v, const int&) {
+          std::vector<std::pair<int, std::uint32_t>> out;
+          for (int u : g.neighbors(v)) {
+            out.push_back({u, static_cast<std::uint32_t>(v)});
+          }
+          return out;
+        },
+        [](int, int&, const std::vector<std::pair<int, std::uint32_t>>&) {});
+
+    const std::string label = "trial " + std::to_string(trial) + " S=" +
+                              std::to_string(num_shards) + " T=" +
+                              std::to_string(threads) + " B=" +
+                              std::to_string(B);
+    EXPECT_EQ(shards.total_messages(), 2 * g.num_edges()) << label;
+    EXPECT_EQ(shards.total_bits(), 32 * shards.total_messages()) << label;
+    for (int s = 0; s < shards.num_shards(); ++s) {
+      const GraphView& view = shards.view(s);
+      EXPECT_EQ(shards.slot_bits(s, s), 32 * 2 * view.internal_edges())
+          << label;
+      for (int d = 0; d < shards.num_shards(); ++d) {
+        if (d == s) continue;
+        EXPECT_EQ(shards.slot_bits(s, d), 32 * view.cross_edges(d)) << label;
+      }
+    }
+    EXPECT_EQ(shards.cross_shard_bits(), 32 * shards.cross_shard_messages())
+        << label;
+    // Heaviest edge load is exactly one 32-bit message (all workloads have
+    // at least one edge), so the round charge is pinned.
+    ASSERT_GE(g.num_edges(), 1) << label;
+    EXPECT_EQ(ledger.total(), ledger.message_round_cost(32)) << label;
+
+    // The Luby MIS through the same runtime: every envelope is one 65-bit
+    // message, so the byte counters factor exactly — and the result must
+    // still be a valid MIS under any (S, T, B).
+    shards.reset_counters();
+    Rng luby_rng(rng.next_u64());
+    RoundLedger luby_ledger;
+    luby_ledger.set_congest_bits(B);
+    const auto mis = luby_mis_message_passing(g, luby_rng, luby_ledger, "mis",
+                                              pool_ptr, &shards);
+    EXPECT_TRUE(is_mis(g, mis)) << label;
+    EXPECT_EQ(shards.total_bits(),
+              kLubyMessageBits * shards.total_messages())
+        << label;
+    EXPECT_EQ(shards.cross_shard_bits(),
+              kLubyMessageBits * shards.cross_shard_messages())
+        << label;
+  }
+}
 
 }  // namespace
 }  // namespace deltacol

@@ -1,4 +1,5 @@
-// Graph serialization and workload metrics.
+// Graph serialization, workload metrics, and the shard runtime's cumulative
+// volume counters (envelopes + wire bits) across reuse.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -6,6 +7,9 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "local/round_ledger.h"
+#include "mis/luby_sync.h"
+#include "runtime/mailbox.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -106,6 +110,69 @@ TEST(Metrics, GirthCertifiesDccFreeBalls) {
   // an independent oracle for the DCC machinery.
   const Graph g = petersen_graph();  // girth 5 => 1-balls and 2-balls(edges)
   EXPECT_GT(girth(g), 2 * 1 + 1);
+}
+
+TEST(RuntimeMetrics, ByteCountersAccumulateAcrossRounds) {
+  // record_round folds per-slot envelope counts AND wire bits cumulatively:
+  // two identical rounds double every counter.
+  Rng rng(11);
+  const Graph g = random_regular(60, 4, rng);
+  ShardRuntime shards(g, 2, nullptr);
+  const std::size_t slots = 2 * 2;
+  std::vector<std::int64_t> counts(slots, 3);
+  std::vector<std::int64_t> bits(slots, 96);  // 3 x 32-bit messages
+  shards.record_round(counts, bits);
+  EXPECT_EQ(shards.rounds_recorded(), 1);
+  EXPECT_EQ(shards.total_messages(), 12);
+  EXPECT_EQ(shards.total_bits(), 4 * 96);
+  shards.record_round(counts, bits);
+  EXPECT_EQ(shards.rounds_recorded(), 2);
+  EXPECT_EQ(shards.total_messages(), 24);
+  EXPECT_EQ(shards.total_bits(), 2 * 4 * 96);
+  EXPECT_EQ(shards.slot_messages(0, 1), 6);
+  EXPECT_EQ(shards.slot_bits(0, 1), 192);
+  EXPECT_EQ(shards.cross_shard_messages(), 12);
+  EXPECT_EQ(shards.cross_shard_bits(), 2 * 192);
+}
+
+TEST(RuntimeMetrics, ResetCountersEnablesPerWorkloadAccounting) {
+  // One ShardRuntime (whose partition/view construction is O(n + m)) reused
+  // across independent workloads: reset_counters() zeroes messages, bits
+  // and rounds, and a re-run reproduces the first run's counters exactly —
+  // the counters are pure functions of the executed workload.
+  Rng gen(21);
+  const Graph g = random_regular(100, 4, gen);
+  ShardRuntime shards(g, 4, nullptr);
+
+  auto run_luby = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    RoundLedger ledger;
+    luby_mis_message_passing(g, rng, ledger, "mis", nullptr, &shards);
+  };
+  run_luby(1);
+  const std::int64_t msgs1 = shards.total_messages();
+  const std::int64_t bits1 = shards.total_bits();
+  const std::int64_t rounds1 = shards.rounds_recorded();
+  ASSERT_GT(msgs1, 0);
+  EXPECT_EQ(bits1, kLubyMessageBits * msgs1);
+
+  // Without a reset the counters keep accumulating (cumulative contract).
+  run_luby(1);
+  EXPECT_EQ(shards.total_messages(), 2 * msgs1);
+  EXPECT_EQ(shards.total_bits(), 2 * bits1);
+  EXPECT_EQ(shards.rounds_recorded(), 2 * rounds1);
+
+  // reset_counters(): back to zero, and the next workload accounts cleanly.
+  shards.reset_counters();
+  EXPECT_EQ(shards.total_messages(), 0);
+  EXPECT_EQ(shards.total_bits(), 0);
+  EXPECT_EQ(shards.rounds_recorded(), 0);
+  EXPECT_EQ(shards.cross_shard_messages(), 0);
+  EXPECT_EQ(shards.cross_shard_bits(), 0);
+  run_luby(1);
+  EXPECT_EQ(shards.total_messages(), msgs1);
+  EXPECT_EQ(shards.total_bits(), bits1);
+  EXPECT_EQ(shards.rounds_recorded(), rounds1);
 }
 
 }  // namespace
