@@ -11,11 +11,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/api.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "net/socket_transport.h"
 
 using namespace deltacol;
 
@@ -25,6 +27,8 @@ void usage(std::ostream& out) {
   out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
          " [--seed S] [--threads T] [--shards S] [--congest-bits B]"
          " [--paper-constants] [--dot out.dot]\n"
+         "       [--transport inproc|tcp] [--rank R --world W"
+         " (--endpoints host:port,... | --port-base P)]\n"
          "  --threads T   worker threads for the parallel runtime (0 = all\n"
          "                hardware threads; results are identical for any T)\n"
          "  --shards S    shards for the partitioned execution layer (<= 1 =\n"
@@ -33,7 +37,14 @@ void usage(std::ostream& out) {
          "                charge rounds under a CONGEST(B) bandwidth cap (B\n"
          "                bits per edge per round; <= 0 = LOCAL model).\n"
          "                Accounting only: the coloring is identical for\n"
-         "                any B, only the reported round totals change\n";
+         "                any B, only the reported round totals change\n"
+         "  --transport tcp\n"
+         "                join a multi-process cluster as one rank (flags or\n"
+         "                DELTACOL_RANK/DELTACOL_WORLD/DELTACOL_ENDPOINTS\n"
+         "                env; see deltacol_mpi_like). The pipeline runs\n"
+         "                replicated with --shards = world, fenced by\n"
+         "                cluster barriers, so every rank prints the same\n"
+         "                coloring and ledger\n";
 }
 
 }  // namespace
@@ -51,6 +62,9 @@ int main(int argc, char** argv) {
   Algorithm alg = Algorithm::kRandomizedSmall;
   DeltaColoringOptions opt;
   std::string dot_path;
+  std::string transport_kind = "inproc";
+  std::string endpoints_spec;
+  int net_rank = -1, net_world = -1, port_base = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--alg" && i + 1 < argc) {
@@ -76,6 +90,16 @@ int main(int argc, char** argv) {
       opt.use_paper_constants = true;
     } else if (a == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
+    } else if (a == "--transport" && i + 1 < argc) {
+      transport_kind = argv[++i];
+    } else if (a == "--rank" && i + 1 < argc) {
+      net_rank = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (a == "--world" && i + 1 < argc) {
+      net_world = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (a == "--endpoints" && i + 1 < argc) {
+      endpoints_spec = argv[++i];
+    } else if (a == "--port-base" && i + 1 < argc) {
+      port_base = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       usage(std::cerr);
       return 2;
@@ -83,6 +107,36 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --transport tcp: join the cluster before doing any work, run the
+    // deterministic pipeline replicated (shards = world), and fence the run
+    // with barriers so every rank starts and finishes together. Each rank
+    // prints the identical summary — the multi-process analogue of the
+    // --shards flag.
+    std::unique_ptr<SocketTransport> cluster;
+    if (transport_kind == "tcp") {
+      NetConfig cfg;
+      if (auto env = NetConfig::from_env(); env && net_rank < 0) {
+        cfg = *env;
+      } else {
+        cfg.rank = net_rank;
+        cfg.world = net_world;
+        if (!endpoints_spec.empty()) {
+          cfg.endpoints = NetConfig::parse_endpoints(endpoints_spec);
+        } else {
+          DC_REQUIRE(port_base > 0,
+                     "--transport tcp needs --endpoints or --port-base");
+          cfg.endpoints = NetConfig::localhost_endpoints(cfg.world, port_base);
+        }
+        cfg.validate();
+      }
+      cluster = std::make_unique<SocketTransport>(cfg);
+      if (opt.num_shards <= 1) opt.num_shards = cluster->world();
+      cluster->barrier();
+    } else if (transport_kind != "inproc") {
+      usage(std::cerr);
+      return 2;
+    }
+
     const Graph g = load_edge_list(path);
     std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
               << " Delta=" << g.max_degree() << " degeneracy="
@@ -98,6 +152,7 @@ int main(int argc, char** argv) {
       write_dot(out, g, res.coloring);
       std::cout << "wrote " << dot_path << "\n";
     }
+    if (cluster) cluster->barrier();
     return 0;
   } catch (const ContractViolation& e) {
     std::cerr << "error: " << e.what() << "\n";

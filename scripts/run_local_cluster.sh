@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Differential multi-process check: spawn a 2-rank localhost TCP cluster per
+# generator-zoo workload (LOCAL and CONGEST(B=64)) and require every rank's
+# canonical output to be byte-identical to the in-process reference.
+#
+#   scripts/run_local_cluster.sh [BUILD_DIR] [WORLD]
+#
+# BUILD_DIR defaults to ./build, WORLD to 2. Canonical output is every line
+# of deltacol_mpi_like not starting with "# " (rank-local wire counters are
+# "# "-prefixed and excluded; see the launcher's file comment). Exit 0 iff
+# every rank of every workload matches its reference.
+set -u
+
+BUILD_DIR="${1:-build}"
+WORLD="${2:-2}"
+BIN="$BUILD_DIR/deltacol_mpi_like"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+WORKLOADS=(regular-500-6 gallai-400-4 sparse-400-6 3-components triangle-cactus)
+CONGEST=(0 64)
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+run=0
+for gen in "${WORKLOADS[@]}"; do
+  for bits in "${CONGEST[@]}"; do
+    run=$((run + 1))
+    # Fresh port range per run; retry once on collision with another process.
+    for attempt in 1 2 3; do
+      port_base=$((20000 + (RANDOM % 40000)))
+      ref="$TMP/$gen-$bits-ref.txt"
+      if ! "$BIN" --gen "$gen" --transport inproc --world "$WORLD" \
+           --congest-bits "$bits" --out "$ref"; then
+        echo "FAIL $gen B=$bits: in-process reference failed" >&2
+        failures=$((failures + 1))
+        break
+      fi
+      pids=()
+      for ((r = 0; r < WORLD; ++r)); do
+        "$BIN" --gen "$gen" --transport tcp --rank "$r" --world "$WORLD" \
+          --port-base "$port_base" --congest-bits "$bits" \
+          --out "$TMP/$gen-$bits-rank$r.txt" 2> "$TMP/$gen-$bits-rank$r.err" &
+        pids+=($!)
+      done
+      rc=0
+      for pid in "${pids[@]}"; do
+        wait "$pid" || rc=1
+      done
+      if [[ $rc -ne 0 && $attempt -lt 3 ]]; then
+        # Most likely a port collision with an unrelated process — retry on
+        # a fresh range.
+        continue
+      fi
+      if [[ $rc -ne 0 ]]; then
+        echo "FAIL $gen B=$bits: a rank exited nonzero" >&2
+        cat "$TMP/$gen-$bits-rank"*.err >&2
+        failures=$((failures + 1))
+        break
+      fi
+      ok=1
+      for ((r = 0; r < WORLD; ++r)); do
+        if ! diff <(grep -v '^# ' "$TMP/$gen-$bits-rank$r.txt") "$ref" \
+             > "$TMP/$gen-$bits-rank$r.diff"; then
+          echo "FAIL $gen B=$bits rank $r: output differs from reference:" >&2
+          cat "$TMP/$gen-$bits-rank$r.diff" >&2
+          ok=0
+        fi
+      done
+      if [[ $ok -eq 1 ]]; then
+        echo "OK   $gen B=$bits: $WORLD ranks byte-identical to in-process"
+      else
+        failures=$((failures + 1))
+      fi
+      break
+    done
+  done
+done
+
+echo "---"
+echo "$((run - failures))/$run workload runs byte-identical"
+[[ $failures -eq 0 ]]

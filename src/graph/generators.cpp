@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/components.h"
+#include "graph/ops.h"
 #include "util/check.h"
 
 namespace deltacol {
@@ -369,6 +370,31 @@ Graph random_gallai_tree(int n, int max_deg, Rng& rng) {
     }
   }
   return Graph::from_edges(static_cast<int>(deg.size()), edges);
+}
+
+std::vector<NamedWorkload> generator_zoo() {
+  Rng rng(71);
+  std::vector<NamedWorkload> zoo;
+  zoo.push_back({"regular-500-6", random_regular(500, 6, rng)});
+  zoo.push_back({"gallai-400-4", random_gallai_tree(400, 4, rng)});
+  zoo.push_back({"sparse-400-6", random_graph_max_degree(400, 6, 1.8, rng)});
+  zoo.push_back(
+      {"3-components",
+       disjoint_union(disjoint_union(random_regular(200, 5, rng),
+                                     random_regular(90, 4, rng)),
+                      random_graph_max_degree(150, 6, 1.8, rng))});
+  zoo.push_back({"triangle-cactus", triangle_cactus(1500)});
+  return zoo;
+}
+
+Graph generator_zoo_graph(const std::string& name) {
+  std::string names;
+  for (auto& w : generator_zoo()) {
+    if (w.name == name) return std::move(w.graph);
+    names += names.empty() ? w.name : ", " + w.name;
+  }
+  DC_REQUIRE(false, "unknown zoo workload '" + name + "' (have: " + names + ")");
+  return {};
 }
 
 }  // namespace deltacol

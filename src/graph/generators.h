@@ -7,6 +7,7 @@
 // adversarial Gallai-tree-like instances where Delta-coloring is tight.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -63,5 +64,20 @@ Graph triangle_cactus(int min_vertices);
 
 // Returns true iff generating a d-regular graph on n vertices is possible.
 bool regular_graph_feasible(int n, int d);
+
+// The named workload zoo shared by the differential suites, the socket
+// launcher and the benches: five instances spanning the regimes above
+// (regular, Gallai-tree, sparse, multi-component, triangle-cactus), built
+// deterministically from a fixed seed so every process that asks for
+// "regular-500-6" gets the bit-identical graph.
+struct NamedWorkload {
+  std::string name;
+  Graph graph;
+};
+std::vector<NamedWorkload> generator_zoo();
+
+// Looks up one zoo instance by name (throws ContractViolation listing the
+// valid names on a miss).
+Graph generator_zoo_graph(const std::string& name);
 
 }  // namespace deltacol

@@ -35,6 +35,23 @@ struct MessageSize<Msg> {
 static_assert(kLubyMessageBits == 1 + 64,
               "Luby wire format: 1-bit join flag + 64-bit priority");
 
+// Wire codec registration (net/wire_codec.h), field by field beside the
+// sizing above: 1 byte for the sub-byte flag + 8 bytes priority = 9 bytes =
+// ceil(1/8) + ceil(64/8) — the per-field rounding the fuzz suite pins.
+template <>
+struct WireCodec<Msg> {
+  static void encode(const Msg& m, WireWriter& w) {
+    WireCodec<bool>::encode(m.is_join, w);
+    WireCodec<std::uint64_t>::encode(m.priority, w);
+  }
+  static Msg decode(WireReader& r) {
+    Msg m;
+    m.is_join = WireCodec<bool>::decode(r);
+    m.priority = WireCodec<std::uint64_t>::decode(r);
+    return m;
+  }
+};
+
 std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
                                            std::string_view phase,

@@ -1,0 +1,98 @@
+#include "net/frame.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace deltacol {
+
+namespace {
+
+[[noreturn]] void io_fail(const char* what) {
+  throw WireError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// write(2) raises SIGPIPE (fatal by default) when the peer has gone; send(2)
+// with MSG_NOSIGNAL turns that into EPIPE, which we surface as WireError.
+// Non-socket fds (the framing tests run over pipes too) fall back to write.
+std::ptrdiff_t write_some(int fd, const std::uint8_t* data, std::size_t n) {
+  std::ptrdiff_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+  if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data, n);
+  return w;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const std::ptrdiff_t w = write_some(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_fail("frame write failed");
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+// Returns bytes read into [data, data+n); stops early only on EOF. Loops
+// over short reads and EINTR — the segmentation a stream socket delivers is
+// never visible above this function.
+std::size_t read_upto(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::ptrdiff_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("frame read failed");
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+void write_frame(int fd, const WireBuf& payload) {
+  std::uint8_t prefix[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  prefix[0] = static_cast<std::uint8_t>(len);
+  prefix[1] = static_cast<std::uint8_t>(len >> 8);
+  prefix[2] = static_cast<std::uint8_t>(len >> 16);
+  prefix[3] = static_cast<std::uint8_t>(len >> 24);
+  write_all(fd, prefix, 4);
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool try_read_frame(int fd, WireBuf& out) {
+  std::uint8_t prefix[4];
+  const std::size_t got = read_upto(fd, prefix, 4);
+  if (got == 0) return false;  // clean EOF at a frame boundary
+  if (got < 4) throw WireError("torn frame: EOF inside the length prefix");
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    throw WireError("frame length " + std::to_string(len) +
+                    " exceeds kMaxFrameBytes — corrupted stream");
+  }
+  out.resize(len);
+  if (read_upto(fd, out.data(), len) < len) {
+    throw WireError("torn frame: EOF inside a " + std::to_string(len) +
+                    "-byte payload");
+  }
+  return true;
+}
+
+WireBuf read_frame(int fd) {
+  WireBuf out;
+  if (!try_read_frame(fd, out)) {
+    throw WireError("unexpected EOF: peer closed before sending a frame");
+  }
+  return out;
+}
+
+}  // namespace deltacol

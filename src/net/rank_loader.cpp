@@ -1,0 +1,185 @@
+#include "net/rank_loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "net/wire_codec.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+namespace {
+
+CsrSlice slice_from_rows(int n_global, int lo, int hi,
+                         std::vector<std::vector<int>> rows) {
+  CsrSlice slice;
+  slice.n_global = n_global;
+  slice.lo = lo;
+  slice.hi = hi;
+  slice.offsets.assign(1, 0);
+  slice.offsets.reserve(static_cast<std::size_t>(hi - lo) + 1);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    slice.targets.insert(slice.targets.end(), row.begin(), row.end());
+    slice.offsets.push_back(static_cast<std::int64_t>(slice.targets.size()));
+  }
+  return slice;
+}
+
+}  // namespace
+
+CsrSlice slice_of(const Graph& g, const VertexPartition& part, int shard) {
+  DC_REQUIRE(part.num_vertices() == g.num_vertices(),
+             "partition was built for a different graph");
+  DC_REQUIRE(shard >= 0 && shard < part.num_shards(), "shard out of range");
+  const int lo = part.begin(shard);
+  const int hi = part.end(shard);
+  CsrSlice slice;
+  slice.n_global = g.num_vertices();
+  slice.lo = lo;
+  slice.hi = hi;
+  slice.offsets.assign(1, 0);
+  slice.offsets.reserve(static_cast<std::size_t>(hi - lo) + 1);
+  for (int v = lo; v < hi; ++v) {
+    const auto nbrs = g.neighbors(v);
+    slice.targets.insert(slice.targets.end(), nbrs.begin(), nbrs.end());
+    slice.offsets.push_back(static_cast<std::int64_t>(slice.targets.size()));
+  }
+  return slice;
+}
+
+CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard) {
+  DC_REQUIRE(num_shards >= 1, "need at least one shard");
+  DC_REQUIRE(shard >= 0 && shard < num_shards, "shard out of range");
+  std::string line;
+  int n = -1;
+  std::int64_t m = -1;
+  std::int64_t seen = 0;
+  int lo = 0, hi = 0;
+  std::vector<std::vector<int>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (n < 0) {
+      DC_REQUIRE(static_cast<bool>(ls >> n >> m), "bad edge-list header");
+      DC_REQUIRE(n >= 0 && m >= 0, "negative counts in header");
+      const VertexPartition part = VertexPartition::contiguous(n, num_shards);
+      lo = part.begin(shard);
+      hi = part.end(shard);
+      rows.resize(static_cast<std::size_t>(hi - lo));
+      continue;
+    }
+    int u, v;
+    DC_REQUIRE(static_cast<bool>(ls >> u >> v), "bad edge-list line");
+    DC_REQUIRE(u >= 0 && u < n && v >= 0 && v < n,
+               "edge endpoint out of range");
+    DC_REQUIRE(u != v, "self-loop in edge list");
+    ++seen;
+    // Keep only what this rank owns; everything else streams past.
+    if (u >= lo && u < hi) rows[static_cast<std::size_t>(u - lo)].push_back(v);
+    if (v >= lo && v < hi) rows[static_cast<std::size_t>(v - lo)].push_back(u);
+  }
+  DC_REQUIRE(n >= 0, "edge list missing header");
+  DC_REQUIRE(seen == m, "edge count does not match header");
+  return slice_from_rows(n, lo, hi, std::move(rows));
+}
+
+CsrSlice load_edge_list_slice(const std::string& path, int num_shards,
+                              int shard) {
+  std::ifstream in(path);
+  DC_REQUIRE(in.good(), "cannot open file for reading: " + path);
+  return load_edge_list_slice(in, num_shards, shard);
+}
+
+std::vector<int> halo_of(const CsrSlice& slice) {
+  std::vector<int> halo;
+  for (int t : slice.targets) {
+    if (!slice.owns(t)) halo.push_back(t);
+  }
+  std::sort(halo.begin(), halo.end());
+  halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+  return halo;
+}
+
+std::vector<HaloNeighborhood> exchange_halo_adjacency(Transport& transport,
+                                                      const CsrSlice& slice) {
+  const int world = transport.num_shards();
+  const int self = transport.local_shard();
+  DC_REQUIRE(self >= 0, "halo exchange needs a rank-aware transport");
+  const VertexPartition part =
+      VertexPartition::contiguous(slice.n_global, world);
+  DC_REQUIRE(part.begin(self) == slice.lo && part.end(self) == slice.hi,
+             "slice does not match this rank under the contiguous partition");
+
+  // Round 1: tell each owner which of its vertices sit in our halo.
+  using IdList = std::vector<std::uint32_t>;
+  const std::vector<int> halo = halo_of(slice);
+  std::vector<IdList> wanted(static_cast<std::size_t>(world));
+  for (int v : halo) {
+    wanted[static_cast<std::size_t>(part.shard_of(v))].push_back(
+        static_cast<std::uint32_t>(v));
+  }
+  std::vector<WireBuf> request_row(static_cast<std::size_t>(world));
+  for (int d = 0; d < world; ++d) {
+    WireWriter w;
+    WireCodec<IdList>::encode(wanted[static_cast<std::size_t>(d)], w);
+    request_row[static_cast<std::size_t>(d)] = w.take();
+  }
+  const auto requests = transport.all_gather_rows(std::move(request_row));
+
+  // Round 2: answer every request against our owned rows, then collect the
+  // answers addressed to us. Reply slot = vector of (vertex, adjacency).
+  using Reply = std::vector<std::pair<std::uint32_t, IdList>>;
+  std::vector<WireBuf> reply_row(static_cast<std::size_t>(world));
+  for (int requester = 0; requester < world; ++requester) {
+    WireReader r(requests[static_cast<std::size_t>(requester)]
+                         [static_cast<std::size_t>(self)]);
+    const IdList asked = WireCodec<IdList>::decode(r);
+    DC_REQUIRE(r.done(), "trailing bytes in halo request");
+    Reply reply;
+    reply.reserve(asked.size());
+    for (std::uint32_t gv : asked) {
+      const int v = static_cast<int>(gv);
+      DC_REQUIRE(slice.owns(v), "halo request for a vertex we do not own");
+      const auto nbrs = slice.neighbors(v);
+      IdList adj;
+      adj.reserve(nbrs.size());
+      for (int t : nbrs) adj.push_back(static_cast<std::uint32_t>(t));
+      reply.emplace_back(gv, std::move(adj));
+    }
+    WireWriter w;
+    WireCodec<Reply>::encode(reply, w);
+    reply_row[static_cast<std::size_t>(requester)] = w.take();
+  }
+  const auto replies = transport.all_gather_rows(std::move(reply_row));
+
+  std::vector<HaloNeighborhood> out;
+  out.reserve(halo.size());
+  for (int owner = 0; owner < world; ++owner) {
+    WireReader r(replies[static_cast<std::size_t>(owner)]
+                        [static_cast<std::size_t>(self)]);
+    const Reply reply = WireCodec<Reply>::decode(r);
+    DC_REQUIRE(r.done(), "trailing bytes in halo reply");
+    DC_REQUIRE(reply.size() == wanted[static_cast<std::size_t>(owner)].size(),
+               "halo reply does not answer every request");
+    for (const auto& [gv, adj] : reply) {
+      HaloNeighborhood hn;
+      hn.vertex = static_cast<int>(gv);
+      hn.neighbors.reserve(adj.size());
+      for (std::uint32_t t : adj) hn.neighbors.push_back(static_cast<int>(t));
+      out.push_back(std::move(hn));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HaloNeighborhood& a, const HaloNeighborhood& b) {
+              return a.vertex < b.vertex;
+            });
+  DC_ENSURE(out.size() == halo.size(), "halo exchange lost a vertex");
+  return out;
+}
+
+}  // namespace deltacol

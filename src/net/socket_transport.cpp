@@ -1,0 +1,337 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/frame.h"
+#include "net/wire_codec.h"
+#include "util/check.h"
+
+namespace deltacol {
+
+namespace {
+
+/// Exchange-frame payload layout (the frame length prefix itself lives in
+/// net/frame.h): u32 sender rank, u32 sequence number, u32 slot count, then
+/// per slot u32 length + bytes. The receiver validates all three header
+/// fields before accepting a single slot.
+constexpr std::uint32_t kHelloMagic = 0xDC01u;
+
+WireBuf encode_exchange_frame(int sender, std::uint32_t seq,
+                              const std::vector<WireBuf>& row) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(sender));
+  w.put_u32(seq);
+  w.put_u32(static_cast<std::uint32_t>(row.size()));
+  for (const WireBuf& slot : row) {
+    w.put_u32(static_cast<std::uint32_t>(slot.size()));
+    for (std::uint8_t b : slot) w.put_u8(b);
+  }
+  return w.take();
+}
+
+std::vector<WireBuf> decode_exchange_frame(const WireBuf& payload,
+                                           int expect_sender,
+                                           std::uint32_t expect_seq,
+                                           int expect_world) {
+  WireReader r(payload);
+  const std::uint32_t sender = r.get_u32();
+  const std::uint32_t seq = r.get_u32();
+  const std::uint32_t slots = r.get_u32();
+  if (sender != static_cast<std::uint32_t>(expect_sender)) {
+    throw WireError("exchange frame from rank " + std::to_string(sender) +
+                    " arrived on the connection to rank " +
+                    std::to_string(expect_sender));
+  }
+  if (seq != expect_seq) {
+    throw WireError("rank " + std::to_string(expect_sender) +
+                    " is out of step: frame seq " + std::to_string(seq) +
+                    " != expected " + std::to_string(expect_seq));
+  }
+  if (slots != static_cast<std::uint32_t>(expect_world)) {
+    throw WireError("exchange frame carries " + std::to_string(slots) +
+                    " slots for a world of " + std::to_string(expect_world));
+  }
+  std::vector<WireBuf> row(slots);
+  for (std::uint32_t d = 0; d < slots; ++d) {
+    const std::uint32_t len = r.get_u32();
+    if (len > r.remaining()) {
+      throw WireError("exchange frame slot length overruns the frame");
+    }
+    WireBuf slot(len);
+    for (std::uint32_t i = 0; i < len; ++i) slot[i] = r.get_u8();
+    row[d] = std::move(slot);
+  }
+  if (!r.done()) throw WireError("trailing bytes after exchange frame slots");
+  return row;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Best effort: socketpair(AF_UNIX) fds used by the hermetic tests reject
+  // TCP options, which is fine — they have no Nagle to disable.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int connect_with_retry(const std::string& host, int port, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const std::string port_str = std::to_string(port);
+  for (;;) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int gai = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+    if (gai == 0) {
+      for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+          ::freeaddrinfo(res);
+          set_nodelay(fd);
+          return fd;
+        }
+        ::close(fd);
+      }
+      ::freeaddrinfo(res);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw WireError("rendezvous: could not connect to " + host + ":" +
+                      port_str + " within the timeout — is the peer up?");
+    }
+    // The peer may simply not have bound its listener yet; back off briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+int listen_on(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw WireError("rendezvous: socket() failed");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw WireError("rendezvous: bind to port " + std::to_string(port) +
+                    " failed: " + std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw WireError("rendezvous: listen failed");
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, int>> NetConfig::parse_endpoints(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, int>> out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    const std::size_t colon = item.rfind(':');
+    DC_REQUIRE(colon != std::string::npos && colon > 0 &&
+                   colon + 1 < item.size(),
+               "endpoint must be host:port, got '" + item + "'");
+    const std::string host = item.substr(0, colon);
+    int port = 0;
+    try {
+      port = std::stoi(item.substr(colon + 1));
+    } catch (const std::exception&) {
+      port = -1;
+    }
+    DC_REQUIRE(port > 0 && port < 65536,
+               "endpoint port out of range in '" + item + "'");
+    out.emplace_back(host, port);
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> NetConfig::localhost_endpoints(
+    int world, int port_base) {
+  DC_REQUIRE(world >= 1, "world must be positive");
+  DC_REQUIRE(port_base > 0 && port_base + world <= 65536,
+             "port range out of bounds");
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) out.emplace_back("127.0.0.1", port_base + r);
+  return out;
+}
+
+std::optional<NetConfig> NetConfig::from_env() {
+  const char* rank_s = std::getenv("DELTACOL_RANK");
+  const char* world_s = std::getenv("DELTACOL_WORLD");
+  if (rank_s == nullptr && world_s == nullptr) return std::nullopt;
+  DC_REQUIRE(rank_s != nullptr && world_s != nullptr,
+             "DELTACOL_RANK and DELTACOL_WORLD must be set together");
+  NetConfig cfg;
+  cfg.rank = std::atoi(rank_s);
+  cfg.world = std::atoi(world_s);
+  if (const char* eps = std::getenv("DELTACOL_ENDPOINTS")) {
+    cfg.endpoints = parse_endpoints(eps);
+  } else if (const char* base = std::getenv("DELTACOL_PORT_BASE")) {
+    cfg.endpoints = localhost_endpoints(cfg.world, std::atoi(base));
+  } else {
+    DC_REQUIRE(false,
+               "set DELTACOL_ENDPOINTS (host:port,...) or DELTACOL_PORT_BASE");
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void NetConfig::validate() const {
+  DC_REQUIRE(world >= 1, "world must be positive");
+  DC_REQUIRE(rank >= 0 && rank < world, "rank out of range for world");
+  DC_REQUIRE(static_cast<int>(endpoints.size()) == world,
+             "need exactly one endpoint per rank");
+}
+
+SocketTransport::SocketTransport(const NetConfig& cfg, int connect_timeout_ms)
+    : rank_(cfg.rank), world_(cfg.world) {
+  cfg.validate();
+  fds_.assign(static_cast<std::size_t>(world_), -1);
+  if (world_ == 1) return;  // a lonely rank needs no mesh
+
+  const int listen_fd = listen_on(cfg.endpoints[static_cast<std::size_t>(rank_)].second,
+                                  world_);
+  try {
+    // Connect to every lower rank; the hello frame tells them who we are.
+    for (int r = 0; r < rank_; ++r) {
+      const auto& [host, port] = cfg.endpoints[static_cast<std::size_t>(r)];
+      const int fd = connect_with_retry(host, port, connect_timeout_ms);
+      WireWriter hello;
+      hello.put_u32(kHelloMagic);
+      hello.put_u32(static_cast<std::uint32_t>(rank_));
+      write_frame(fd, hello.take());
+      fds_[static_cast<std::size_t>(r)] = fd;
+    }
+    // Accept from every higher rank; their hello frame tells us who they are.
+    for (int pending = world_ - 1 - rank_; pending > 0; --pending) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) throw WireError("rendezvous: accept failed");
+      set_nodelay(fd);
+      const WireBuf hello = read_frame(fd);
+      WireReader r(hello);
+      const std::uint32_t magic = r.get_u32();
+      const std::uint32_t peer = r.get_u32();
+      if (magic != kHelloMagic || !r.done() ||
+          peer <= static_cast<std::uint32_t>(rank_) ||
+          peer >= static_cast<std::uint32_t>(world_) ||
+          fds_[peer] != -1) {
+        ::close(fd);
+        throw WireError("rendezvous: bad hello frame from peer");
+      }
+      fds_[peer] = fd;
+    }
+  } catch (...) {
+    ::close(listen_fd);
+    close_all();
+    throw;
+  }
+  ::close(listen_fd);
+}
+
+SocketTransport::SocketTransport(int rank, int world, std::vector<int> peer_fds)
+    : rank_(rank), world_(world), fds_(std::move(peer_fds)) {
+  DC_REQUIRE(world_ >= 1, "world must be positive");
+  DC_REQUIRE(rank_ >= 0 && rank_ < world_, "rank out of range for world");
+  DC_REQUIRE(static_cast<int>(fds_.size()) == world_,
+             "need one fd slot per rank");
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    DC_REQUIRE(fds_[static_cast<std::size_t>(r)] >= 0,
+               "missing peer fd for rank " + std::to_string(r));
+  }
+  fds_[static_cast<std::size_t>(rank_)] = -1;
+}
+
+SocketTransport::~SocketTransport() { close_all(); }
+
+void SocketTransport::close_all() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void SocketTransport::run_shards(const std::function<void(int)>& body) {
+  body(rank_);
+}
+
+void SocketTransport::send_row_frames(
+    const std::vector<std::vector<std::uint8_t>>& row) {
+  const WireBuf frame = encode_exchange_frame(rank_, seq_, row);
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    write_frame(fds_[static_cast<std::size_t>(r)], frame);
+    bytes_sent_ += static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
+    ++frames_sent_;
+  }
+}
+
+std::vector<std::vector<std::vector<std::uint8_t>>>
+SocketTransport::all_gather_rows(
+    std::vector<std::vector<std::uint8_t>> local_row) {
+  DC_REQUIRE(static_cast<int>(local_row.size()) == world_,
+             "local row must carry one slot per destination rank");
+  std::vector<std::vector<std::vector<std::uint8_t>>> rows(
+      static_cast<std::size_t>(world_));
+
+  // Writer thread pushes our row to every peer while this thread reads the
+  // peers' rows — with everyone sending and receiving concurrently, no pair
+  // of ranks can deadlock on full TCP buffers.
+  std::exception_ptr write_error;
+  std::thread writer([&] {
+    try {
+      send_row_frames(local_row);
+    } catch (...) {
+      write_error = std::current_exception();
+    }
+  });
+  std::exception_ptr read_error;
+  try {
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;
+      const WireBuf frame = read_frame(fds_[static_cast<std::size_t>(r)]);
+      bytes_received_ +=
+          static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
+      rows[static_cast<std::size_t>(r)] =
+          decode_exchange_frame(frame, r, seq_, world_);
+    }
+  } catch (...) {
+    read_error = std::current_exception();
+  }
+  writer.join();
+  if (read_error) std::rethrow_exception(read_error);
+  if (write_error) std::rethrow_exception(write_error);
+
+  rows[static_cast<std::size_t>(rank_)] = std::move(local_row);
+  ++seq_;
+  return rows;
+}
+
+void SocketTransport::barrier() {
+  all_gather_rows(
+      std::vector<std::vector<std::uint8_t>>(static_cast<std::size_t>(world_)));
+}
+
+}  // namespace deltacol

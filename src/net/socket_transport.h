@@ -1,0 +1,129 @@
+/// \file
+/// The TCP backend of the shard runtime: one OS process per shard/rank,
+/// persistent connections, frame-per-row exchange.
+///
+/// `SocketTransport` implements the distributed half of the `Transport`
+/// contract (runtime/mailbox.h):
+///
+///   * `local_shard()` is this process's rank — `run_shards(body)` invokes
+///     `body(rank)` and nothing else; the other ranks run their own bodies
+///     in their own processes.
+///   * `all_gather_rows()` ships this rank's serialized mailbox row to every
+///     peer as one frame per peer (net/frame.h) and blocks until every
+///     peer's row arrived — the inter-round barrier of a distributed run.
+///     Frames carry a sequence number, so a rank that drifted a round out of
+///     step fails loudly instead of merging stale slots.
+///
+/// **Rendezvous.** Every rank knows the full host:port list (`NetConfig`,
+/// parsed from flags or the DELTACOL_RANK / DELTACOL_WORLD /
+/// DELTACOL_ENDPOINTS environment — the mpi-like launcher contract). Rank r
+/// listens on its own endpoint, connects to every lower rank (with retry
+/// while peers are still starting), and accepts from every higher rank; a
+/// hello frame identifies the connecting rank, so the mesh is complete and
+/// order-independent before the constructor returns. Sockets run with
+/// TCP_NODELAY — a synchronous round trip per engine round would otherwise
+/// sit out Nagle's timer thousands of times.
+///
+/// Tests construct the transport directly over pre-connected socketpair fds
+/// (the hermetic two-ranks-in-one-process harness,
+/// tests/test_socket_transport.cpp); the rendezvous path is exercised by
+/// scripts/run_local_cluster.sh and the tcp-2rank CI leg.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/mailbox.h"
+
+namespace deltacol {
+
+/// One rank's view of the cluster: who am I, how many of us, where is
+/// everyone. Endpoint i is where rank i listens.
+struct NetConfig {
+  int rank = -1;
+  int world = 0;
+  std::vector<std::pair<std::string, int>> endpoints;  // (host, port) per rank
+
+  /// Parses "host:port,host:port,..." (one endpoint per rank, in rank
+  /// order). Throws ContractViolation on malformed input.
+  static std::vector<std::pair<std::string, int>> parse_endpoints(
+      const std::string& spec);
+
+  /// Builds the all-localhost cluster every rank list for single-machine
+  /// runs: rank i listens on port_base + i.
+  static std::vector<std::pair<std::string, int>> localhost_endpoints(
+      int world, int port_base);
+
+  /// Reads DELTACOL_RANK, DELTACOL_WORLD and DELTACOL_ENDPOINTS (or
+  /// DELTACOL_PORT_BASE for an all-localhost cluster). Returns nullopt when
+  /// the variables are absent; throws ContractViolation when they are
+  /// present but inconsistent.
+  static std::optional<NetConfig> from_env();
+
+  /// Validates rank/world/endpoint consistency (throws ContractViolation).
+  void validate() const;
+};
+
+/// The TCP `Transport`: see the file comment. Not thread-safe — one engine
+/// drives one transport, exactly like the in-process backends.
+class SocketTransport final : public Transport {
+ public:
+  /// Rendezvous constructor: listen + full-mesh connect per `cfg` (see file
+  /// comment). Throws WireError if the mesh cannot be established within
+  /// `connect_timeout_ms`.
+  explicit SocketTransport(const NetConfig& cfg, int connect_timeout_ms = 20000);
+
+  /// Pre-connected constructor (hermetic tests): `peer_fds[r]` is a
+  /// connected stream-socket fd to rank r (ignored at index `rank`). Takes
+  /// ownership of the fds.
+  SocketTransport(int rank, int world, std::vector<int> peer_fds);
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  int num_shards() const override { return world_; }
+  int local_shard() const override { return rank_; }
+
+  /// Runs only the local rank's body (the other ranks are other processes).
+  void run_shards(const std::function<void(int)>& body) override;
+
+  void exchange() override { ++exchanges_; }
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> all_gather_rows(
+      std::vector<std::vector<std::uint8_t>> local_row) override;
+
+  /// Blocks until every rank reached this barrier (an all-gather of empty
+  /// rows). Used by launchers to fence phases that are replicated rather
+  /// than exchanged.
+  void barrier();
+
+  int rank() const { return rank_; }
+  int world() const { return world_; }
+  int exchanges() const { return exchanges_; }
+
+  // --- physically measured wire traffic (frame payloads + prefixes), the
+  // --- denominator of the E17 framing-overhead ratio.
+  std::int64_t wire_bytes_sent() const { return bytes_sent_; }
+  std::int64_t wire_bytes_received() const { return bytes_received_; }
+  std::int64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void send_row_frames(const std::vector<std::vector<std::uint8_t>>& row);
+  void close_all();
+
+  int rank_ = -1;
+  int world_ = 0;
+  std::vector<int> fds_;  // per peer rank, -1 at rank_
+  std::uint32_t seq_ = 0;
+  int exchanges_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t bytes_received_ = 0;
+  std::int64_t frames_sent_ = 0;
+};
+
+}  // namespace deltacol

@@ -2,6 +2,15 @@
 
 namespace deltacol {
 
+std::vector<std::vector<std::vector<std::uint8_t>>> Transport::all_gather_rows(
+    std::vector<std::vector<std::uint8_t>> local_row) {
+  (void)local_row;
+  DC_REQUIRE(false,
+             "all_gather_rows: this transport has no wire — the byte "
+             "exchange is only meaningful when local_shard() >= 0");
+  return {};
+}
+
 InProcessTransport::InProcessTransport(int num_shards, ThreadPool* pool)
     : num_shards_(num_shards), pool_(pool) {
   DC_REQUIRE(num_shards >= 1, "transport needs at least one shard");

@@ -5,12 +5,16 @@
 /// Three pieces:
 ///
 ///  * `Transport` — the only interface a distributed backend has to
-///    implement. It answers "how many shards" and "run this shard body on
-///    every shard, then barrier". `InProcessTransport` is the in-memory
+///    implement. It answers "how many shards", "which shard is local"
+///    (local_shard(): -1 in process, a rank id when distributed), "run this
+///    shard body on every local shard, then barrier", and — for distributed
+///    backends — "ship my serialized mailbox row to every peer and give me
+///    theirs" (all_gather_rows). `InProcessTransport` is the in-memory
 ///    backend: shards are indexed chunks on the existing ThreadPool, so a
-///    mailbox handed from shard a to shard b is a pointer, not bytes. A
-///    socket/MPI transport replaces exchange() with serialization and
-///    run_shards() with "this rank runs its own shard" — nothing above this
+///    mailbox handed from shard a to shard b is a pointer, not bytes.
+///    `SocketTransport` (net/socket_transport.h) is the TCP backend: each OS
+///    process owns one shard, run_shards() runs only the local rank's body,
+///    and the bytes move through all_gather_rows — nothing above this
 ///    interface changes (that is the point of this layer).
 ///
 ///  * `Mailbox<Msg>` — per-(source-shard, destination-shard) staging slots
@@ -55,18 +59,40 @@ class Transport {
 
   virtual int num_shards() const = 0;
 
-  /// Runs body(0) .. body(S-1), one invocation per shard, and blocks until
-  /// all completed (a barrier). Bodies must write only shard-private state;
-  /// concurrent execution is allowed but not required, and the lowest
-  /// shard's exception wins (the ThreadPool contract), so results never
-  /// depend on backend scheduling.
+  /// Runs body(0) .. body(S-1), one invocation per **local** shard, and
+  /// blocks until all completed (a barrier). In-process every shard is
+  /// local; a distributed backend (local_shard() >= 0) invokes only its own
+  /// rank's body — the other S-1 invocations happen in the peer processes.
+  /// Bodies must write only shard-private state; concurrent execution is
+  /// allowed but not required, and the lowest shard's exception wins (the
+  /// ThreadPool contract), so results never depend on backend scheduling.
   virtual void run_shards(const std::function<void(int)>& body) = 0;
 
   /// Delivers everything staged since the last exchange. In-process this is
   /// a no-op — mailboxes live in shared memory and the run_shards barrier
-  /// already published them. A distributed backend serializes each (s, d)
-  /// slot here and hands the bytes to rank d.
+  /// already published them. A distributed backend has already moved the
+  /// bytes through all_gather_rows (the engine drives serialization, since
+  /// only it knows the message type); exchange() remains the per-round
+  /// backend hook (counters, flushes).
   virtual void exchange() {}
+
+  /// The one shard this OS process owns, or -1 when every shard is local
+  /// (the in-process backends). When >= 0, the engine stages sends for this
+  /// shard only, ships its serialized mailbox row through all_gather_rows,
+  /// fills the other rows from the wire (Mailbox::fill), and replays the
+  /// merge + receive for every shard so each rank's replicated global state
+  /// stays bit-identical (DESIGN.md §6, "the socket backend").
+  virtual int local_shard() const { return -1; }
+
+  /// Distributed byte exchange: ships this rank's serialized mailbox row
+  /// (`local_row[d]` = the encoded (local_shard, d) slot, S entries) to
+  /// every peer and returns all ranks' rows — result[s][d] is the encoded
+  /// (s, d) slot, with result[local_shard()] being `local_row` unchanged.
+  /// Blocks until every rank has contributed: this is the inter-round
+  /// barrier of a distributed run. Only meaningful when local_shard() >= 0;
+  /// the in-process default has no wire and throws.
+  virtual std::vector<std::vector<std::vector<std::uint8_t>>> all_gather_rows(
+      std::vector<std::vector<std::uint8_t>> local_row);
 };
 
 /// The shared-memory backend: S shards fan out as indexed chunks on the
@@ -170,20 +196,55 @@ class Mailbox {
         num_shards_(part->num_shards()),
         slots_(static_cast<std::size_t>(num_shards_) *
                static_cast<std::size_t>(num_shards_)),
-        slot_bits_(slots_.size(), 0) {}
+        slot_counts_(slots_.size(), 0),
+        slot_bits_(slots_.size(), 0),
+        filled_(slots_.size(), 0) {}
 
   int num_shards() const { return num_shards_; }
 
   /// Stages one envelope from `from` (owned by src_shard) to `to`; routed
   /// to slot (src_shard, owner(to)). Only src_shard may call this (row
-  /// privacy — which also makes the per-slot bit tally race-free). The
+  /// privacy — which also makes the per-slot tallies race-free). The
   /// envelope's wire size is accounted at post time via MessageSize<Msg>.
   void post(int src_shard, int from, int to, Msg msg) {
     const int dst_shard = part_->shard_of(to);
-    slot_bits_[static_cast<std::size_t>(src_shard) *
-                   static_cast<std::size_t>(num_shards_) +
-               static_cast<std::size_t>(dst_shard)] += message_bits(msg);
-    slot(src_shard, dst_shard).push_back(Envelope{to, from, std::move(msg)});
+    const std::size_t idx = slot_index(src_shard, dst_shard);
+    slot_bits_[idx] += message_bits(msg);
+    ++slot_counts_[idx];
+    slots_[idx].push_back(Envelope{to, from, std::move(msg)});
+  }
+
+  /// Installs a whole slot at once — the remote-fill path of a distributed
+  /// backend: rank d decodes the bytes rank s shipped and fills slot (s, d)
+  /// (and, under the replicated-state discipline, every other remote slot
+  /// too). Envelope order must be the sender's post order — decode_slot
+  /// preserves it — so the shard-major merge rule survives serialization.
+  /// The envelopes are accounted exactly as a local post would have
+  /// (MessageSize is a pure function of the value, so both sides of the
+  /// wire tally identical counters). A slot may be filled at most once per
+  /// round, and never on top of locally posted envelopes: double delivery
+  /// is a transport bug this assertion turns into a loud failure instead of
+  /// silently duplicated messages.
+  void fill(int src_shard, int dst_shard, std::vector<Envelope> envelopes) {
+    const std::size_t idx = slot_index(src_shard, dst_shard);
+    DC_REQUIRE(!filled_[idx], "mailbox slot filled twice in one round");
+    DC_REQUIRE(slots_[idx].empty(),
+               "mailbox fill would clobber locally posted envelopes");
+    filled_[idx] = 1;
+    for (const Envelope& e : envelopes) {
+      slot_bits_[idx] += message_bits(e.msg);
+    }
+    slot_counts_[idx] += static_cast<std::int64_t>(envelopes.size());
+    slots_[idx] = std::move(envelopes);
+  }
+
+  /// Moves one slot's envelopes out (the drain side of the receive barrier),
+  /// leaving the slot empty. The round's tallies (slot_counts / slot_bits)
+  /// are unaffected — they describe what was staged this round, not what is
+  /// currently buffered — so ShardRuntime::record_round may run after the
+  /// receive has drained everything.
+  std::vector<Envelope> drain(int src_shard, int dst_shard) {
+    return std::exchange(slots_[slot_index(src_shard, dst_shard)], {});
   }
 
   std::vector<Envelope>& slot(int src, int dst) {
@@ -197,32 +258,37 @@ class Mailbox {
                   static_cast<std::size_t>(dst)];
   }
 
-  /// Per-slot envelope counts, row-major (feeds ShardRuntime::record_round).
-  std::vector<std::int64_t> slot_counts() const {
-    std::vector<std::int64_t> counts;
-    counts.reserve(slots_.size());
-    for (const auto& s : slots_) {
-      counts.push_back(static_cast<std::int64_t>(s.size()));
-    }
-    return counts;
-  }
+  /// Per-slot envelope counts of this round, row-major (feeds
+  /// ShardRuntime::record_round). Accumulated at post/fill time, so the
+  /// counts survive drain().
+  const std::vector<std::int64_t>& slot_counts() const { return slot_counts_; }
 
   /// Per-slot wire-bit totals of this round, row-major (the byte-accounting
-  /// companion of slot_counts(), accumulated at post time).
+  /// companion of slot_counts(), accumulated at post/fill time).
   const std::vector<std::int64_t>& slot_bits() const { return slot_bits_; }
 
-  /// Empties every slot and zeroes the bit tallies, keeping capacity
-  /// (called at round start).
+  /// Empties every slot, zeroes the tallies and re-arms the fill-once
+  /// guards, keeping capacity (called at round start).
   void clear() {
     for (auto& s : slots_) s.clear();
+    for (auto& c : slot_counts_) c = 0;
     for (auto& b : slot_bits_) b = 0;
+    for (auto& f : filled_) f = 0;
   }
 
  private:
+  std::size_t slot_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_shards_) +
+           static_cast<std::size_t>(dst);
+  }
+
   const VertexPartition* part_;
   int num_shards_;
   std::vector<std::vector<Envelope>> slots_;
-  std::vector<std::int64_t> slot_bits_;  // row-major, this round's bits
+  std::vector<std::int64_t> slot_counts_;  // row-major, this round's staged
+  std::vector<std::int64_t> slot_bits_;    // same shape, MessageSize bits
+  std::vector<std::uint8_t> filled_;       // fill-once-per-round guards
 };
 
 /// Shard-major sweep: body(v) for every v in [0, n), with each shard's

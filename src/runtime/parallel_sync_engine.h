@@ -26,11 +26,18 @@
 ///   1. **Sharded send.** Each source shard sweeps its owned contiguous
 ///      range (chunk-staged on the pool, concatenated in chunk order — the
 ///      same discipline as above) and posts envelopes into its mailbox row.
-///   2. **Exchange.** Transport::exchange() — a no-op in process, the
-///      serialization point for a distributed backend.
+///   2. **Exchange.** A no-op in process (the run_shards barrier already
+///      published the shared-memory mailbox). On a distributed backend
+///      (Transport::local_shard() >= 0) this is where the bytes move: the
+///      engine serializes the local rank's mailbox row with WireCodec
+///      (net/wire_codec.h), all-gathers it through the transport, and
+///      installs the remote rows with Mailbox::fill.
 ///   3. **Sharded merge + receive.** Each destination shard drains its
 ///      mailbox column in ascending source-shard order, sorts its owned
-///      inboxes, and receives.
+///      inboxes, and receives. Distributed ranks replay the merge + receive
+///      for every shard — the replicated-state discipline that keeps each
+///      rank's global state bit-identical while the send sweep is genuinely
+///      partitioned across processes.
 ///
 /// Because partition ranges ascend with the shard id, shard-major draining
 /// of sender-ordered slots reproduces the global ascending sender order —
@@ -55,6 +62,7 @@
 
 #include "graph/graph.h"
 #include "local/round_ledger.h"
+#include "net/wire_codec.h"
 #include "runtime/mailbox.h"
 #include "runtime/message_size.h"
 #include "runtime/thread_pool.h"
@@ -199,11 +207,26 @@ class ParallelSyncEngine {
 
   // The sharded strategy (see file comment). Three phases, two transport
   // barriers; all inter-shard data flows through the mailbox.
+  //
+  // **Distributed backends** (transport.local_shard() >= 0, e.g. the TCP
+  // SocketTransport): run_shards invokes only the local rank's body, so the
+  // send sweep — the per-vertex compute — is genuinely partitioned across
+  // processes. The staged row is then serialized slot by slot (WireCodec,
+  // net/wire_codec.h), all-gathered over the wire, and the remote rows are
+  // installed with Mailbox::fill. From that point the round is replicated:
+  // every rank drains the complete mailbox in the same shard-major order and
+  // applies receive to every vertex, so each rank's global state — and hence
+  // every subsequent send, coin flip and termination test — stays
+  // bit-identical to the in-process run (DESIGN.md §6, "the socket
+  // backend": filling whole slots keyed by (src, dst) cannot perturb the
+  // merge order, because the order never depended on *where* a slot's bytes
+  // came from).
   void round_sharded(const SendFn& send, const RecvFn& receive) {
     const int n = graph_.num_vertices();
     const int num_shards = shards_->num_shards();
     const bool congest = ledger_.congest_bits() > 0;
     Transport& transport = shards_->transport();
+    const int local = transport.local_shard();
     Mailbox<Msg>& mailbox = *mailbox_;
     mailbox.clear();
     std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
@@ -233,15 +256,45 @@ class ParallelSyncEngine {
       }
     });
 
+    // Distributed exchange: serialize the local row, all-gather the bytes
+    // (this is the inter-rank barrier), fill every remote row from the wire.
+    // fill() re-tallies counts and bits from the decoded envelopes, so the
+    // volume fold below sees the same S*S counters every rank — and the
+    // in-process run — sees.
+    if (local >= 0) {
+      std::vector<WireBuf> row(static_cast<std::size_t>(num_shards));
+      for (int d = 0; d < num_shards; ++d) {
+        row[static_cast<std::size_t>(d)] =
+            encode_slot<Msg>(mailbox.slot(local, d));
+      }
+      auto rows = transport.all_gather_rows(std::move(row));
+      DC_ENSURE(static_cast<int>(rows.size()) == num_shards,
+                "all_gather_rows returned the wrong number of rows");
+      for (int s = 0; s < num_shards; ++s) {
+        if (s == local) continue;
+        DC_ENSURE(static_cast<int>(rows[static_cast<std::size_t>(s)].size()) ==
+                      num_shards,
+                  "all_gather_rows returned a malformed row");
+        for (int d = 0; d < num_shards; ++d) {
+          mailbox.fill(
+              s, d,
+              decode_slot<Msg, typename Mailbox<Msg>::Envelope>(
+                  rows[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]));
+        }
+      }
+    }
     transport.exchange();
 
     // Barrier 2: each destination shard drains its mailbox column in
     // ascending source-shard order (= ascending sender order, because the
     // partition's ranges ascend), then sorts and receives its owned range.
-    transport.run_shards([&](int d) {
+    // Distributed ranks replay this for every shard (replicated merge +
+    // receive — see the strategy comment above), in ascending shard order on
+    // the calling thread.
+    const auto receive_shard = [&](int d) {
       const GraphView& view = shards_->view(d);
       for (int s = 0; s < num_shards; ++s) {
-        for (auto& e : mailbox.slot(s, d)) {
+        for (auto& e : mailbox.drain(s, d)) {
           inboxes[static_cast<std::size_t>(e.to)].emplace_back(
               e.from, std::move(e.msg));
         }
@@ -257,10 +310,15 @@ class ParallelSyncEngine {
         receive(v, states_[static_cast<std::size_t>(v)],
                 inboxes[static_cast<std::size_t>(v)]);
       });
-    });
+    };
+    if (local >= 0) {
+      for (int d = 0; d < num_shards; ++d) receive_shard(d);
+    } else {
+      transport.run_shards(receive_shard);
+    }
 
-    // Volume + CONGEST folds on the calling thread (slot sizes survive the
-    // moves above: moving elements does not shrink the slot vectors). The
+    // Volume + CONGEST folds on the calling thread (the tallies are
+    // accumulated at post/fill time, so they survive the drains above). The
     // max fold is order-free, so the charge is (shards, threads)-invariant.
     shards_->record_round(mailbox.slot_counts(), mailbox.slot_bits());
     std::int64_t max_edge_bits = 0;

@@ -18,7 +18,9 @@
 #include "graph/ops.h"
 #include "mis/luby_sync.h"
 #include "mis/mis.h"
+#include "net/wire_codec.h"
 #include "runtime/mailbox.h"
+#include "runtime/message_size.h"
 #include "runtime/parallel_sync_engine.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
@@ -187,6 +189,237 @@ TEST_P(FuzzTest, ByteCountersConsistentWithPostedMessages) {
     EXPECT_EQ(shards.cross_shard_bits(),
               kLubyMessageBits * shards.cross_shard_messages())
         << label;
+  }
+}
+
+}  // namespace
+
+// --- wire-codec fuzz -------------------------------------------------------
+//
+// The WireCodec family (net/wire_codec.h) must stay the byte-level twin of
+// MessageSize: for every registered type, encoded length == the sum of
+// ceil(field_bits / 8) over its fields, and decode(encode(x)) == x. A
+// custom struct registering BOTH traits side by side (the luby_sync.cpp
+// pattern) is fuzzed too.
+
+namespace wire_fuzz {
+
+struct FuzzMsg {
+  bool flag = false;
+  std::uint32_t a = 0;
+  std::int64_t b = 0;
+  std::vector<std::uint32_t> tail;
+  bool operator==(const FuzzMsg&) const = default;
+};
+
+}  // namespace wire_fuzz
+
+template <>
+struct MessageSize<wire_fuzz::FuzzMsg> {
+  static std::int64_t bits(const wire_fuzz::FuzzMsg& m) {
+    return 1 + 32 + 64 + message_bits(m.tail);
+  }
+};
+
+template <>
+struct WireCodec<wire_fuzz::FuzzMsg> {
+  static void encode(const wire_fuzz::FuzzMsg& m, WireWriter& w) {
+    WireCodec<bool>::encode(m.flag, w);
+    WireCodec<std::uint32_t>::encode(m.a, w);
+    WireCodec<std::int64_t>::encode(m.b, w);
+    WireCodec<std::vector<std::uint32_t>>::encode(m.tail, w);
+  }
+  static wire_fuzz::FuzzMsg decode(WireReader& r) {
+    wire_fuzz::FuzzMsg m;
+    m.flag = WireCodec<bool>::decode(r);
+    m.a = WireCodec<std::uint32_t>::decode(r);
+    m.b = WireCodec<std::int64_t>::decode(r);
+    m.tail = WireCodec<std::vector<std::uint32_t>>::decode(r);
+    return m;
+  }
+};
+
+namespace {
+
+// Expected on-wire bytes, per-field ceil(bits / 8) — the mirror of the
+// codec registry, computed independently of both traits.
+template <typename T>
+struct WireBytes;
+template <>
+struct WireBytes<bool> {
+  static std::int64_t of(const bool&) { return 1; }
+};
+template <>
+struct WireBytes<std::uint32_t> {
+  static std::int64_t of(const std::uint32_t&) { return 4; }
+};
+template <>
+struct WireBytes<std::int32_t> {
+  static std::int64_t of(const std::int32_t&) { return 4; }
+};
+template <>
+struct WireBytes<std::uint64_t> {
+  static std::int64_t of(const std::uint64_t&) { return 8; }
+};
+template <>
+struct WireBytes<std::int64_t> {
+  static std::int64_t of(const std::int64_t&) { return 8; }
+};
+template <typename A, typename B>
+struct WireBytes<std::pair<A, B>> {
+  static std::int64_t of(const std::pair<A, B>& p) {
+    return WireBytes<A>::of(p.first) + WireBytes<B>::of(p.second);
+  }
+};
+template <typename T>
+struct WireBytes<std::vector<T>> {
+  static std::int64_t of(const std::vector<T>& v) {
+    std::int64_t total = 4;
+    for (const T& x : v) total += WireBytes<T>::of(x);
+    return total;
+  }
+};
+template <>
+struct WireBytes<wire_fuzz::FuzzMsg> {
+  static std::int64_t of(const wire_fuzz::FuzzMsg& m) {
+    return 1 + 4 + 8 + WireBytes<decltype(m.tail)>::of(m.tail);
+  }
+};
+
+// One round trip: encode, check the per-field length law (and, when the
+// type has no sub-byte fields, the exact bits/8 relation to MessageSize),
+// decode, compare payloads, and require the reader to be fully consumed.
+template <typename T>
+void check_round_trip(const T& value, std::int64_t sub_byte_fields) {
+  WireWriter w;
+  WireCodec<T>::encode(value, w);
+  const WireBuf bytes = w.take();
+  ASSERT_EQ(static_cast<std::int64_t>(bytes.size()), WireBytes<T>::of(value));
+  // Each bool field rounds 1 bit up to 1 byte (+7 bits); everything else is
+  // byte-aligned, so bytes == (bits + 7 * #bools) / 8 exactly.
+  ASSERT_EQ(static_cast<std::int64_t>(bytes.size()) * 8,
+            message_bits(value) + 7 * sub_byte_fields);
+  WireReader r(bytes);
+  const T back = WireCodec<T>::decode(r);
+  ASSERT_TRUE(r.done());
+  ASSERT_EQ(back, value);
+}
+
+wire_fuzz::FuzzMsg random_fuzz_msg(Rng& rng) {
+  wire_fuzz::FuzzMsg m;
+  m.flag = rng.next_bool(0.5);
+  m.a = static_cast<std::uint32_t>(rng.next_u64());
+  m.b = static_cast<std::int64_t>(rng.next_u64());
+  const int len = rng.next_int(0, 8);
+  for (int i = 0; i < len; ++i) {
+    m.tail.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+  }
+  return m;
+}
+
+TEST(WireCodecFuzz, EveryRegisteredTypeRoundTripsAtPerFieldRounding) {
+  Rng rng(0xC0DEC);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t raw = rng.next_u64();
+    check_round_trip(raw % 2 == 0, 1);                             // bool
+    check_round_trip(static_cast<std::uint32_t>(raw), 0);          // u32
+    check_round_trip(static_cast<std::int32_t>(raw), 0);           // i32
+    check_round_trip(raw, 0);                                      // u64
+    check_round_trip(static_cast<std::int64_t>(raw), 0);           // i64
+    check_round_trip(std::pair<std::uint32_t, std::uint64_t>{
+                         static_cast<std::uint32_t>(raw >> 32), raw},
+                     0);
+    check_round_trip(std::pair<bool, std::uint64_t>{raw % 2 == 1, raw},
+                     1);  // the Luby message shape
+    std::vector<std::uint32_t> flat;
+    for (int i = rng.next_int(0, 12); i > 0; --i) {
+      flat.push_back(static_cast<std::uint32_t>(rng.next_u64()));
+    }
+    check_round_trip(flat, 0);
+    std::vector<std::vector<std::uint32_t>> nested;
+    for (int i = rng.next_int(0, 4); i > 0; --i) {
+      nested.push_back(flat);
+      nested.back().resize(static_cast<std::size_t>(
+          rng.next_int(0, static_cast<int>(flat.size()))));
+    }
+    check_round_trip(nested, 0);
+    // The halo-reply shape (net/rank_loader.cpp): vector<pair<u32, ids>>.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> reply;
+    for (int i = rng.next_int(0, 4); i > 0; --i) {
+      reply.emplace_back(static_cast<std::uint32_t>(rng.next_u64()), flat);
+    }
+    check_round_trip(reply, 0);
+    // A custom two-trait struct, like every engine message type.
+    const wire_fuzz::FuzzMsg msg = random_fuzz_msg(rng);
+    check_round_trip(msg, 1);
+  }
+}
+
+TEST(WireCodecFuzz, TruncatedOrDirtyPayloadsNeverDecodeCleanly) {
+  Rng rng(0xBADBEEF);
+  for (int iter = 0; iter < 500; ++iter) {
+    const wire_fuzz::FuzzMsg msg = random_fuzz_msg(rng);
+    WireWriter w;
+    WireCodec<wire_fuzz::FuzzMsg>::encode(msg, w);
+    const WireBuf bytes = w.take();
+    // Any strict prefix either throws or leaves the reader short (the
+    // caller-visible "not done" signal decode_slot turns into WireError).
+    const std::size_t cut =
+        static_cast<std::size_t>(rng.next_int(0, static_cast<int>(bytes.size()) - 1));
+    WireBuf torn(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      WireReader r(torn);
+      (void)WireCodec<wire_fuzz::FuzzMsg>::decode(r);
+      ADD_FAILURE() << "decode of a " << cut << "/" << bytes.size()
+                    << "-byte prefix did not throw";
+    } catch (const WireError&) {
+    }
+    // A bool byte outside {0,1} is rejected, not coerced.
+    WireBuf dirty = bytes;
+    dirty[0] = static_cast<std::uint8_t>(rng.next_int(2, 255));
+    WireReader r(dirty);
+    EXPECT_THROW((void)WireCodec<wire_fuzz::FuzzMsg>::decode(r), WireError);
+  }
+}
+
+TEST(WireCodecFuzz, MailboxSlotsSurviveSerializationExactly) {
+  Rng rng(0x51075);
+  using Env = Mailbox<wire_fuzz::FuzzMsg>::Envelope;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Env> slot;
+    for (int i = rng.next_int(0, 10); i > 0; --i) {
+      slot.push_back(Env{rng.next_int(0, 1000), rng.next_int(0, 1000),
+                         random_fuzz_msg(rng)});
+    }
+    const WireBuf bytes = encode_slot<wire_fuzz::FuzzMsg>(slot);
+    // Slot length law: count prefix + per-envelope addressing + payloads.
+    std::int64_t expect = kWireSlotPrefixBytes;
+    for (const Env& e : slot) {
+      expect += kWireEnvelopeOverheadBytes +
+                WireBytes<wire_fuzz::FuzzMsg>::of(e.msg);
+    }
+    ASSERT_EQ(static_cast<std::int64_t>(bytes.size()), expect);
+    const auto back = decode_slot<wire_fuzz::FuzzMsg, Env>(bytes);
+    ASSERT_EQ(back.size(), slot.size());
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      EXPECT_EQ(back[i].to, slot[i].to);
+      EXPECT_EQ(back[i].from, slot[i].from);
+      EXPECT_EQ(back[i].msg, slot[i].msg);
+    }
+    // Mutations are rejected loudly: trailing garbage, truncation, and a
+    // count that promises more envelopes than the bytes can carry.
+    WireBuf longer = bytes;
+    longer.push_back(0);
+    EXPECT_THROW((decode_slot<wire_fuzz::FuzzMsg, Env>(longer)), WireError);
+    if (!slot.empty()) {
+      WireBuf shorter = bytes;
+      shorter.pop_back();
+      EXPECT_THROW((decode_slot<wire_fuzz::FuzzMsg, Env>(shorter)), WireError);
+    }
+    WireBuf inflated = bytes;
+    inflated[0] = 0xff;
+    inflated[1] = 0xff;
+    EXPECT_THROW((decode_slot<wire_fuzz::FuzzMsg, Env>(inflated)), WireError);
   }
 }
 
