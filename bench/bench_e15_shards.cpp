@@ -24,6 +24,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "graph/metrics.h"
 #include "mis/luby_sync.h"
 #include "mis/mis.h"
 #include "runtime/mailbox.h"
@@ -121,6 +122,11 @@ void E15_MessageVolume(benchmark::State& state) {
                  : 0.0;
   state.counters["cross_fraction"] =
       msgs > 0 ? static_cast<double>(cross) / static_cast<double>(msgs) : 0.0;
+  // The static analogue of cross_fraction: the fraction of graph edges the
+  // contiguous partition cuts (graph/metrics.h — E18 reports the same metric
+  // for the locality partition).
+  state.counters["cross_edge_fraction"] = cross_edge_fraction(
+      g, VertexPartition::contiguous(g.num_vertices(), num_shards));
   state.counters["mis_identical"] = identical ? 1.0 : 0.0;
   e15_csv(state, "e15_message_volume");
 }

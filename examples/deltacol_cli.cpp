@@ -26,13 +26,19 @@ namespace {
 void usage(std::ostream& out) {
   out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
          " [--seed S] [--threads T] [--shards S] [--congest-bits B]"
-         " [--paper-constants] [--dot out.dot]\n"
+         " [--partition contiguous|cluster] [--paper-constants]"
+         " [--dot out.dot]\n"
          "       [--transport inproc|tcp] [--rank R --world W"
          " (--endpoints host:port,... | --port-base P)]\n"
          "  --threads T   worker threads for the parallel runtime (0 = all\n"
          "                hardware threads; results are identical for any T)\n"
          "  --shards S    shards for the partitioned execution layer (<= 1 =\n"
          "                unsharded; results are identical for any S)\n"
+         "  --partition contiguous|cluster\n"
+         "                shard ownership map: contiguous id ranges (default)\n"
+         "                or locality clusters (graph/renumber.h). Placement\n"
+         "                only: the coloring and ledger are identical for\n"
+         "                either choice, only cross-shard traffic changes\n"
          "  --congest-bits B\n"
          "                charge rounds under a CONGEST(B) bandwidth cap (B\n"
          "                bits per edge per round; <= 0 = LOCAL model).\n"
@@ -86,6 +92,11 @@ int main(int argc, char** argv) {
       opt.num_shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (a == "--congest-bits" && i + 1 < argc) {
       opt.congest_bits = std::strtoll(argv[++i], nullptr, 10);
+    } else if (a == "--partition" && i + 1 < argc) {
+      if (!parse_partition_strategy(argv[++i], &opt.partition)) {
+        usage(std::cerr);
+        return 2;
+      }
     } else if (a == "--paper-constants") {
       opt.use_paper_constants = true;
     } else if (a == "--dot" && i + 1 < argc) {

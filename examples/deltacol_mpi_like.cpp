@@ -39,7 +39,9 @@
 #include "core/api.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/metrics.h"
 #include "graph/partition.h"
+#include "graph/renumber.h"
 #include "net/rank_loader.h"
 #include "net/socket_transport.h"
 #include "runtime/mailbox.h"
@@ -56,11 +58,17 @@ void usage(std::ostream& out) {
          "         [--transport tcp|inproc] [--rank R --world W]\n"
          "         [--endpoints host:port,...] [--port-base P]\n"
          "         [--alg all|small|large|det|ps|naive] [--seed S]\n"
-         "         [--congest-bits B] [--out FILE]\n"
+         "         [--congest-bits B] [--partition contiguous|cluster]\n"
+         "         [--out FILE]\n"
          "  tcp     one process per rank; rank/world/endpoints from flags or\n"
          "          DELTACOL_RANK/DELTACOL_WORLD/DELTACOL_ENDPOINTS env\n"
          "  inproc  single-process reference producing the canonical output\n"
-         "          the tcp ranks must match byte-for-byte (--world shards)\n";
+         "          the tcp ranks must match byte-for-byte (--world shards)\n"
+         "  --partition contiguous|cluster\n"
+         "          shard ownership map (graph/renumber.h). Placement only:\n"
+         "          all canonical lines except the slice/cross-edge stats are\n"
+         "          identical for either choice; cluster cuts the cross-rank\n"
+         "          payload reported on the \"# rank=\" lines\n";
 }
 
 std::uint64_t fnv1a(const void* data, std::size_t len) {
@@ -97,6 +105,7 @@ int main(int argc, char** argv) {
   int rank = -1, world = -1, port_base = -1;
   std::uint64_t seed = 1;
   std::int64_t congest_bits = 0;
+  PartitionStrategy strategy = PartitionStrategy::kContiguous;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -126,6 +135,9 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
     } else if (a == "--congest-bits") {
       congest_bits = std::strtoll(next("--congest-bits").c_str(), nullptr, 10);
+    } else if (a == "--partition") {
+      DC_REQUIRE(parse_partition_strategy(next("--partition"), &strategy),
+                 "--partition must be contiguous or cluster");
     } else if (a == "--out") {
       out_path = next("--out");
     } else {
@@ -178,16 +190,18 @@ int main(int argc, char** argv) {
     out << "workload=" << workload << " n=" << g.num_vertices()
         << " m=" << g.num_edges() << " delta=" << g.max_degree()
         << " world=" << S << " seed=" << seed << " congest-bits="
-        << congest_bits << "\n";
+        << congest_bits << " partition=" << partition_strategy_name(strategy)
+        << "\n";
 
     // --- 1. per-rank slice + halo -----------------------------------------
     // The canonical table covers every rank (a pure function of the
     // partition, computable locally); the wire verification covers the
-    // local rank.
-    const VertexPartition part = VertexPartition::contiguous(g.num_vertices(), S);
+    // local rank. Slices live in the partition's layout space (identical to
+    // original ids for the contiguous strategy).
+    const VertexPartition part = make_partition(g, S, strategy, nullptr);
     for (int r = 0; r < S; ++r) {
       const CsrSlice s = !load_path.empty()
-                             ? load_edge_list_slice(load_path, S, r)
+                             ? load_edge_list_slice(load_path, part, r)
                              : slice_of(g, part, r);
       const GraphView view(g, part, r);
       DC_ENSURE(s.lo == view.owned_begin() && s.hi == view.owned_end(),
@@ -201,24 +215,37 @@ int main(int argc, char** argv) {
           << ") adj-entries=" << entries << " internal-edges="
           << view.internal_edges() << " halo=" << halo.size() << "\n";
     }
+    {
+      std::ostringstream frac;
+      frac.setf(std::ios::fixed);
+      frac.precision(4);
+      frac << cross_edge_fraction(g, part);
+      out << "cross-edge-fraction=" << frac.str() << "\n";
+    }
 
     std::unique_ptr<ShardRuntime> runtime;
     if (tcp) {
       runtime = std::make_unique<ShardRuntime>(
-          g, S, nullptr, std::make_unique<SocketTransport>(cfg));
+          g, part, nullptr, std::make_unique<SocketTransport>(cfg));
     } else {
-      runtime = std::make_unique<ShardRuntime>(g, S, nullptr);
+      runtime = std::make_unique<ShardRuntime>(g, part, nullptr);
     }
 
     // --- 2. halo adjacency over the wire ----------------------------------
     if (tcp) {
-      const CsrSlice mine = !load_path.empty()
-                                ? load_edge_list_slice(load_path, S, cfg.rank)
-                                : slice_of(g, part, cfg.rank);
+      const CsrSlice mine =
+          !load_path.empty() ? load_edge_list_slice(load_path, part, cfg.rank)
+                             : slice_of(g, part, cfg.rank);
       const auto fetched =
           exchange_halo_adjacency(runtime->transport(), mine);
       for (const HaloNeighborhood& hn : fetched) {
-        const auto expect = g.neighbors(hn.vertex);
+        // Slices speak layout positions; translate back to original ids to
+        // compare against the full graph.
+        const int v = part.vertex_at(hn.vertex);
+        std::vector<int> expect;
+        expect.reserve(g.neighbors(v).size());
+        for (int u : g.neighbors(v)) expect.push_back(part.position_of(u));
+        std::sort(expect.begin(), expect.end());
         DC_ENSURE(std::equal(expect.begin(), expect.end(),
                              hn.neighbors.begin(), hn.neighbors.end()),
                   "wire-fetched halo adjacency disagrees with the graph");
@@ -256,7 +283,7 @@ int main(int argc, char** argv) {
         out << "# rank=" << cfg.rank << " wire-bytes-sent="
             << st.wire_bytes_sent() << " wire-bytes-received="
             << st.wire_bytes_received() << " frames=" << st.frames_sent()
-            << "\n";
+            << " cross-payload-bytes=" << st.cross_payload_bytes() << "\n";
       }
     }
 
@@ -277,6 +304,7 @@ int main(int argc, char** argv) {
       opt.seed = seed;
       opt.num_shards = S;
       opt.congest_bits = congest_bits;
+      opt.partition = strategy;
       const DeltaColoringResult res = delta_color(g, alg, opt);
       validate_delta_coloring(g, res.coloring, res.delta);
       std::vector<int> colors(res.coloring.begin(), res.coloring.end());

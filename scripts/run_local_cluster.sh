@@ -3,16 +3,44 @@
 # generator-zoo workload (LOCAL and CONGEST(B=64)) and require every rank's
 # canonical output to be byte-identical to the in-process reference.
 #
-#   scripts/run_local_cluster.sh [BUILD_DIR] [WORLD]
+#   scripts/run_local_cluster.sh [BUILD_DIR] [WORLD] [--partition contiguous|cluster]
 #
-# BUILD_DIR defaults to ./build, WORLD to 2. Canonical output is every line
-# of deltacol_mpi_like not starting with "# " (rank-local wire counters are
-# "# "-prefixed and excluded; see the launcher's file comment). Exit 0 iff
-# every rank of every workload matches its reference.
+# BUILD_DIR defaults to ./build, WORLD to 2, and --partition picks the shard
+# ownership map (graph/renumber.h); the canonical output is checked the same
+# way for either strategy, since partitioning is placement-only. Canonical
+# output is every line of deltacol_mpi_like not starting with "# " (rank-local
+# wire counters are "# "-prefixed and excluded; see the launcher's file
+# comment). After each matching run the rank-local wire summary is echoed so a
+# cluster-vs-contiguous pair of invocations shows the cross-payload drop.
+# Exit 0 iff every rank of every workload matches its reference.
 set -u
 
-BUILD_DIR="${1:-build}"
-WORLD="${2:-2}"
+BUILD_DIR=build
+WORLD=2
+PARTITION=contiguous
+positional=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --partition)
+      [[ $# -ge 2 ]] || { echo "error: --partition needs a value" >&2; exit 2; }
+      PARTITION="$2"
+      shift 2
+      ;;
+    *)
+      positional=$((positional + 1))
+      case "$positional" in
+        1) BUILD_DIR="$1" ;;
+        2) WORLD="$1" ;;
+        *) echo "error: unexpected argument '$1'" >&2; exit 2 ;;
+      esac
+      shift
+      ;;
+  esac
+done
+case "$PARTITION" in contiguous|cluster) ;; *)
+  echo "error: --partition must be contiguous or cluster" >&2; exit 2 ;;
+esac
+
 BIN="$BUILD_DIR/deltacol_mpi_like"
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
@@ -34,7 +62,7 @@ for gen in "${WORKLOADS[@]}"; do
       port_base=$((20000 + (RANDOM % 40000)))
       ref="$TMP/$gen-$bits-ref.txt"
       if ! "$BIN" --gen "$gen" --transport inproc --world "$WORLD" \
-           --congest-bits "$bits" --out "$ref"; then
+           --congest-bits "$bits" --partition "$PARTITION" --out "$ref"; then
         echo "FAIL $gen B=$bits: in-process reference failed" >&2
         failures=$((failures + 1))
         break
@@ -43,6 +71,7 @@ for gen in "${WORKLOADS[@]}"; do
       for ((r = 0; r < WORLD; ++r)); do
         "$BIN" --gen "$gen" --transport tcp --rank "$r" --world "$WORLD" \
           --port-base "$port_base" --congest-bits "$bits" \
+          --partition "$PARTITION" \
           --out "$TMP/$gen-$bits-rank$r.txt" 2> "$TMP/$gen-$bits-rank$r.err" &
         pids+=($!)
       done
@@ -71,7 +100,10 @@ for gen in "${WORKLOADS[@]}"; do
         fi
       done
       if [[ $ok -eq 1 ]]; then
-        echo "OK   $gen B=$bits: $WORLD ranks byte-identical to in-process"
+        echo "OK   $gen B=$bits partition=$PARTITION:" \
+             "$WORLD ranks byte-identical to in-process"
+        # Rank-local wire summary (legitimately differs per rank).
+        grep -h '^# ' "$TMP/$gen-$bits-rank"*.txt | sed "s/^# /  wire $gen B=$bits /"
       else
         failures=$((failures + 1))
       fi
@@ -81,5 +113,5 @@ for gen in "${WORKLOADS[@]}"; do
 done
 
 echo "---"
-echo "$((run - failures))/$run workload runs byte-identical"
+echo "$((run - failures))/$run workload runs byte-identical (partition=$PARTITION)"
 [[ $failures -eq 0 ]]

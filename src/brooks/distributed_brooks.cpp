@@ -289,7 +289,8 @@ void assert_disjoint_brooks_balls(const Graph& g, const std::vector<int>& bases,
 
 ScheduledBrooksFixes schedule_disjoint_brooks_fixes(
     const Graph& g, Coloring& c, const std::vector<int>& bases, int delta,
-    int max_radius, ThreadPool* pool, int num_shards) {
+    int max_radius, ThreadPool* pool, int num_shards,
+    const VertexPartition* part) {
   const int k = static_cast<int>(bases.size());
   ScheduledBrooksFixes out;
   out.results.resize(static_cast<std::size_t>(k));
@@ -302,9 +303,10 @@ ScheduledBrooksFixes schedule_disjoint_brooks_fixes(
   // Pass 1 — concurrent walks, emergencies deferred. Each unit of work owns
   // one BfsScratch (the O(n) visitation state), so the fan-out is capped at
   // one chunk per executor; with shards attached the bases group by the
-  // home shard of their vertex under the contiguous partition instead (the
-  // placement a distributed runtime would use). Either grouping yields
-  // bit-identical results: the fixes commute (disjoint read/write sets).
+  // home shard of their vertex — under the caller's partition when given,
+  // else the contiguous one (the placement a distributed runtime would
+  // use). Any grouping yields bit-identical results: the fixes commute
+  // (disjoint read/write sets).
   const auto run_indices = [&](const int* idx, int count) {
     BfsScratch scratch;
     for (int j = 0; j < count; ++j) {
@@ -315,13 +317,16 @@ ScheduledBrooksFixes schedule_disjoint_brooks_fixes(
     }
   };
   if (num_shards > 1) {
-    const VertexPartition part =
-        VertexPartition::contiguous(g.num_vertices(), num_shards);
+    const VertexPartition owner_map =
+        part != nullptr && part->num_shards() == num_shards &&
+                part->num_vertices() == g.num_vertices()
+            ? *part
+            : VertexPartition::contiguous(g.num_vertices(), num_shards);
     std::vector<std::vector<int>> by_shard(
         static_cast<std::size_t>(num_shards));
     for (int i = 0; i < k; ++i) {
       by_shard[static_cast<std::size_t>(
-                   part.shard_of(bases[static_cast<std::size_t>(i)]))]
+                   owner_map.shard_of(bases[static_cast<std::size_t>(i)]))]
           .push_back(i);
     }
     const auto shard_body = [&](int s) {

@@ -8,6 +8,7 @@
 #include "graph/components.h"
 #include "graph/ops.h"
 #include "graph/partition.h"
+#include "graph/renumber.h"
 #include "graph/structure.h"
 #include "runtime/component_scheduler.h"
 #include "runtime/thread_pool.h"
@@ -110,11 +111,15 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
 
     RoundLedger& ledger = comp_ledgers[static_cast<std::size_t>(ci)];
     Rng& comp_rng = comp_rngs[static_cast<std::size_t>(ci)];
+    // Component-local shard map: contiguous, or the cluster renumbering of
+    // this component's dense ids (a pure function of the component graph,
+    // so it is identical whatever thread/shard this job lands on).
     ComponentContext ctx{comp, delta,    local_schedule,
                          lin.num_colors, opt,
                          comp_rng,       ledger,
                          comp_stats[static_cast<std::size_t>(ci)],
-                         pool,           num_shards};
+                         pool,           num_shards,
+                         make_partition(comp, num_shards, opt.partition, pool)};
 
     if (comp.max_degree() < delta || is_clique(comp) || is_cycle(comp) ||
         is_path(comp)) {
@@ -162,15 +167,17 @@ DeltaColoringResult attempt(const Graph& g, Algorithm alg,
     }
   };
   // Shard-placed execution (no-op at num_shards <= 1): each component runs
-  // on the shard that owns its lowest vertex — the placement a distributed
-  // deployment would use. Identical observables either way (jobs are
-  // index-private); only placement/wall-clock differ.
+  // on the shard that owns its lowest vertex under the run's partition
+  // strategy — the placement a distributed deployment would use. Identical
+  // observables either way (jobs are index-private); only
+  // placement/wall-clock differ.
   std::vector<int> comp_owner(static_cast<std::size_t>(num_comps));
   for (int ci = 0; ci < num_comps; ++ci) {
     comp_owner[static_cast<std::size_t>(ci)] =
         comps[static_cast<std::size_t>(ci)].front();
   }
-  scheduler.run_owner_placed(n, num_shards, comp_owner, component_job);
+  scheduler.run_owner_placed(make_partition(g, num_shards, opt.partition, pool),
+                             comp_owner, component_job);
 
   // Serial folds in component order (see scheduler comment above).
   for (const auto& stats : comp_stats) {

@@ -27,6 +27,7 @@
 #include "coloring/coloring.h"
 #include "core/layering.h"
 #include "graph/graph.h"
+#include "graph/partition.h"
 #include "local/round_ledger.h"
 
 namespace deltacol {
@@ -96,6 +97,18 @@ struct DeltaColoringOptions {
   /// every (num_shards, num_threads) pair (enforced by the shard golden
   /// tests in tests/test_parallel_determinism.cpp). <= 1 runs unsharded.
   int num_shards = 1;
+
+  /// How vertices are assigned to shards (graph/partition.h):
+  /// kContiguous splits the raw id space into balanced ascending ranges —
+  /// the pessimistic baseline where ≈ (S-1)/S of all edges cross shards on
+  /// wild-id inputs. kCluster runs the deterministic locality renumbering
+  /// pre-pass (graph/renumber.h: BFS ball growing + DFS linearization) so
+  /// each shard owns a locality-dense region and cross-shard traffic drops
+  /// to the cluster boundary (experiment E18). Like num_shards this affects
+  /// placement, message routing and wall-clock ONLY — colorings, ledgers
+  /// and stats are bit-for-bit identical for every strategy (enforced by
+  /// tests/test_renumber.cpp). Ignored at num_shards <= 1.
+  PartitionStrategy partition = PartitionStrategy::kContiguous;
 
   /// CONGEST(B) bandwidth cap in bits per directed edge per round
   /// (local/round_ledger.h). <= 0 (the default) runs in the LOCAL model:

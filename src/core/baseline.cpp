@@ -94,7 +94,7 @@ void run_baseline_nd(ComponentContext& ctx, Coloring& c) {
   // ruling set, R = 2*rho + 2): fan them out over the pool with the
   // emergency path deferred to a serial index-ordered pass.
   const auto fixes = schedule_disjoint_brooks_fixes(
-      g, c, base, delta, rho, ctx.pool, ctx.num_shards);
+      g, c, base, delta, rho, ctx.pool, ctx.num_shards, &ctx.part);
   ctx.stats.brooks_fixes += fixes.num_executed;
   for (const auto& fix : fixes.results) {
     if (fix.used_component_recolor) {
@@ -147,7 +147,7 @@ void run_baseline_greedy_brooks(ComponentContext& ctx, Coloring& c) {
     // pass) may side-color later batch members, which are then skipped
     // (`executed` = 0) exactly as the old serial loop skipped them.
     const auto fixes = schedule_disjoint_brooks_fixes(
-        g, c, batch, delta, rho, ctx.pool, ctx.num_shards);
+        g, c, batch, delta, rho, ctx.pool, ctx.num_shards, &ctx.part);
     ctx.stats.brooks_fixes += fixes.num_executed;
     ctx.ledger.charge(2 * rho + 1, "naive/brooks-fixes");
   }

@@ -63,7 +63,7 @@ void run_deterministic(ComponentContext& ctx, Coloring& c) {
               "base vertex was colored by a layer instance");
   }
   const auto fixes = schedule_disjoint_brooks_fixes(
-      g, c, base, delta, rho, ctx.pool, ctx.num_shards);
+      g, c, base, delta, rho, ctx.pool, ctx.num_shards, &ctx.part);
   ctx.stats.brooks_fixes += fixes.num_executed;
   for (const auto& fix : fixes.results) {
     if (fix.used_component_recolor) {

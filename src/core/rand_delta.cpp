@@ -206,7 +206,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
   // Boundary of H: degree < delta within H. A pure v-private sweep, placed
   // shard-major when sharding is on.
   std::vector<int> deg_h(static_cast<std::size_t>(n), 0);
-  sharded_for(ctx.pool, ctx.num_shards, n, [&](int v) {
+  sharded_for(ctx.pool, ctx.part, [&](int v) {
     if (!in_h[static_cast<std::size_t>(v)]) return;
     for (int u : g.neighbors(v)) {
       if (in_h[static_cast<std::size_t>(u)]) {
@@ -326,7 +326,8 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
           child,
           comp_stats[static_cast<std::size_t>(i)],
           ctx.pool,
-          ctx.num_shards};
+          ctx.num_shards,
+          ctx.part};  // same graph, same ownership map
       if (!color_small_component(child_ctx, c,
                                  comp_parents[static_cast<std::size_t>(i)])) {
         needs_repair[static_cast<std::size_t>(i)] = 1;
@@ -341,8 +342,7 @@ void run_randomized(ComponentContext& ctx, Coloring& c, bool small_variant) {
           comp_parents[static_cast<std::size_t>(i)].front();
     }
     const std::int64_t max_rounds = scheduler.run_max_total_owner_placed(
-        n, ctx.num_shards, comp_owner, leftover_job,
-        ctx.ledger.congest_bits());
+        ctx.part, comp_owner, leftover_job, ctx.ledger.congest_bits());
     for (const auto& cs : comp_stats) merge_component_stats(ctx.stats, cs);
     ctx.ledger.charge(max_rounds, "rand/6-small-components");
     // Deferred Lemma-27 fallback (see internal.h): the repair may color

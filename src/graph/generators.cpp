@@ -158,6 +158,41 @@ Graph clique_ring(int k, int clique_size) {
   return Graph::from_edges(n, edges);
 }
 
+Graph preferential_attachment(int n, int edges_per_vertex, Rng& rng) {
+  DC_REQUIRE(edges_per_vertex >= 1, "attachment needs at least one edge");
+  DC_REQUIRE(n > edges_per_vertex, "graph too small for the clique seed");
+  const int m = edges_per_vertex;
+  std::vector<Edge> edges;
+  // Degree-proportional sampling via the repeated-endpoint list: every edge
+  // endpoint appears once, so a uniform draw lands on v with probability
+  // deg(v) / (2 * |E|).
+  std::vector<int> endpoints;
+  for (int u = 0; u <= m; ++u) {
+    for (int v = u + 1; v <= m; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<int> picked;
+  for (int v = m + 1; v < n; ++v) {
+    picked.clear();
+    while (static_cast<int>(picked.size()) < m) {
+      const int u = endpoints[static_cast<std::size_t>(
+          rng.next_below(endpoints.size()))];
+      if (std::find(picked.begin(), picked.end(), u) == picked.end()) {
+        picked.push_back(u);
+      }
+    }
+    for (int u : picked) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
 Graph triangle_cactus(int min_vertices) {
   DC_REQUIRE(min_vertices >= 3, "need at least one triangle");
   std::vector<Edge> edges;

@@ -55,6 +55,14 @@ Graph random_tree(int n, int max_deg, Rng& rng);
 // Delta-coloring.
 Graph random_gallai_tree(int n, int max_deg, Rng& rng);
 
+// Connected heavy-tailed ("power-law") graph via preferential attachment:
+// after an (edges_per_vertex + 1)-clique seed, each new vertex attaches to
+// edges_per_vertex distinct existing vertices chosen proportional to their
+// current degree, so hub degrees grow far beyond the typical degree. Ids
+// follow attachment order (hubs get low ids); bench_e18 scrambles them to
+// model wild-id inputs. Requires n > edges_per_vertex >= 1.
+Graph preferential_attachment(int n, int edges_per_vertex, Rng& rng);
+
 // Triangle cactus: a complete tree of triangles where every interior vertex
 // lies in exactly two triangles (degree 4) and only the fringe is
 // deficient. A Gallai tree (all blocks are triangles) whose interior is

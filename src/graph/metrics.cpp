@@ -124,4 +124,18 @@ std::vector<int> degree_histogram(const Graph& g) {
   return hist;
 }
 
+double cross_edge_fraction(const Graph& g, const VertexPartition& part) {
+  DC_REQUIRE(part.num_vertices() == g.num_vertices(),
+             "partition does not span the graph");
+  if (g.num_edges() == 0 || part.num_shards() <= 1) return 0.0;
+  std::int64_t cross = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int sv = part.shard_of(v);
+    for (int u : g.neighbors(v)) {
+      if (v < u && part.shard_of(u) != sv) ++cross;
+    }
+  }
+  return static_cast<double>(cross) / static_cast<double>(g.num_edges());
+}
+
 }  // namespace deltacol

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/partition.h"
 
 namespace deltacol {
 
@@ -30,5 +31,12 @@ std::int64_t count_triangles(const Graph& g);
 
 // histogram[d] = number of vertices of degree d.
 std::vector<int> degree_histogram(const Graph& g);
+
+// Fraction of undirected edges whose endpoints live on different shards of
+// `part` (0 for edgeless graphs or a single shard). This is the static
+// locality figure behind the per-round message split that experiments E15
+// and E18 measure: under a dense all-neighbors round, cross_fraction of all
+// envelopes — and of all encoded payload bytes — cross a shard boundary.
+double cross_edge_fraction(const Graph& g, const VertexPartition& part);
 
 }  // namespace deltacol

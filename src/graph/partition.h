@@ -24,19 +24,55 @@
 /// distributed shard would replicate) and per-destination-shard cross-edge
 /// counts (the CONGEST-style message budget of one dense round, measured by
 /// experiment E15).
+///
+/// **Renumbered partitions (PR 8).** A `VertexPartition` can additionally
+/// carry a locality-aware bijection between the original vertex ids and a
+/// *layout* space (see graph/renumber.h): shard s still owns the contiguous
+/// layout range [begin(s), end(s)), but the vertices living in that range
+/// are `{to_old[p] : p in [begin(s), end(s))}`. Execution stays entirely in
+/// original ids — the renumbering only redefines *ownership and layout* —
+/// so every determinism contract (id-keyed RNG splits, id tie-breaks,
+/// Linial's id-seeded palette) is untouched by construction; DESIGN.md §6
+/// gives the merge-order argument. `shard_of` remains O(1): one array
+/// lookup plus the closed form.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace deltacol {
 
+/// How the shard runtime assigns vertices to shards.
+///  - kContiguous: shard s owns the ascending id range
+///    [floor(s*n/S), floor((s+1)*n/S)) — the pessimistic baseline (E15:
+///    cross_fraction ~ (S-1)/S on scrambled inputs).
+///  - kCluster: a deterministic BFS-ball renumbering pre-pass
+///    (graph/renumber.h) packs nearby vertices into the same shard;
+///    observables stay bit-identical to kContiguous.
+enum class PartitionStrategy {
+  kContiguous = 0,
+  kCluster = 1,
+};
+
+/// "contiguous" / "cluster" (stable CLI / JSON spelling).
+const char* partition_strategy_name(PartitionStrategy strategy);
+
+/// Parses the CLI spelling; returns false (and leaves *out alone) on an
+/// unknown name.
+bool parse_partition_strategy(const std::string& name, PartitionStrategy* out);
+
 /// Contiguous balanced split of [0, n) into num_shards ascending ranges.
 /// Empty shards are legal (num_shards may exceed n); shard s owns
 /// [floor(s*n/S), floor((s+1)*n/S)).
+///
+/// In renumbered mode (see file comment) the ranges live in *layout* space
+/// and `owned_vertex(s, i)` enumerates the owned original ids in ascending
+/// original-id order. Copies are O(1): the permutation tables are shared.
 class VertexPartition {
  public:
   VertexPartition() = default;
@@ -45,6 +81,14 @@ class VertexPartition {
   /// Requires num_shards >= 1; n >= 0.
   static VertexPartition contiguous(int n, int num_shards);
 
+  /// A partition whose shard s owns the original ids mapped into the layout
+  /// range [begin(s), end(s)) by the bijection to_new/to_old
+  /// (to_old[to_new[v]] == v for all v; validated). num_shards == 1
+  /// degenerates to contiguous (every vertex owned by shard 0).
+  static VertexPartition renumbered(
+      int num_shards, std::shared_ptr<const std::vector<int>> to_new,
+      std::shared_ptr<const std::vector<int>> to_old);
+
   /// Resolves a DeltaColoringOptions-style shard count: values < 1 mean
   /// "unsharded" and clamp to 1.
   static int resolve_num_shards(int requested);
@@ -52,18 +96,42 @@ class VertexPartition {
   int num_vertices() const { return n_; }
   int num_shards() const { return num_shards_; }
 
-  /// First owned vertex of shard s.
+  /// True when layout space == id space (no renumbering attached).
+  bool is_contiguous() const { return to_new_ == nullptr; }
+
+  /// First layout position of shard s (== first owned vertex id when
+  /// is_contiguous()).
   int begin(int s) const { return static_cast<int>(int64_begin(s)); }
-  /// One past the last owned vertex of shard s.
+  /// One past the last layout position of shard s.
   int end(int s) const { return static_cast<int>(int64_begin(s + 1)); }
   int size(int s) const { return end(s) - begin(s); }
 
+  /// Layout position of original vertex v (identity when contiguous).
+  int position_of(int v) const {
+    return to_new_ == nullptr ? v : (*to_new_)[static_cast<std::size_t>(v)];
+  }
+  /// Original vertex at layout position p (identity when contiguous).
+  int vertex_at(int p) const {
+    return to_old_ == nullptr ? p : (*to_old_)[static_cast<std::size_t>(p)];
+  }
+
+  /// i-th owned original id of shard s, ascending in original id;
+  /// i in [0, size(s)). O(1) either way.
+  int owned_vertex(int s, int i) const {
+    return owned_ == nullptr
+               ? begin(s) + i
+               : (*owned_)[static_cast<std::size_t>(s)]
+                          [static_cast<std::size_t>(i)];
+  }
+
   /// Owner shard of vertex v, in O(1) (closed form of the inverse of
-  /// begin(); exhaustively pinned against a scan in tests/test_partition).
+  /// begin() applied to v's layout position; exhaustively pinned against a
+  /// scan in tests/test_partition and tests/test_renumber).
   /// Requires 0 <= v < num_vertices().
   int shard_of(int v) const {
     return static_cast<int>(
-        ((static_cast<std::int64_t>(v) + 1) * num_shards_ - 1) / n_);
+        ((static_cast<std::int64_t>(position_of(v)) + 1) * num_shards_ - 1) /
+        n_);
   }
 
  private:
@@ -73,12 +141,20 @@ class VertexPartition {
 
   int n_ = 0;
   int num_shards_ = 1;
+  // Renumbered mode only (all null when contiguous); shared so partition
+  // copies stay O(1).
+  std::shared_ptr<const std::vector<int>> to_new_;
+  std::shared_ptr<const std::vector<int>> to_old_;
+  std::shared_ptr<const std::vector<std::vector<int>>> owned_;
 };
 
-/// One shard's view of a Graph: owned contiguous vertex range + halo table.
+/// One shard's view of a Graph: owned contiguous layout range + halo table.
 /// Zero-copy — adjacency reads go straight to the parent CSR; only the halo
 /// table and the per-shard cross-edge counters are materialized (O(owned
-/// adjacency) build, once).
+/// adjacency) build, once). Under a renumbered partition the owned range
+/// [owned_begin(), owned_end()) is in *layout* space; `owned_vertex(i)`
+/// enumerates the owned original ids, and halo()/neighbors() stay in
+/// original ids throughout.
 class GraphView {
  public:
   GraphView() = default;
@@ -87,12 +163,20 @@ class GraphView {
   GraphView(const Graph& g, const VertexPartition& part, int shard);
 
   const Graph& graph() const { return *g_; }
+  const VertexPartition& partition() const { return part_; }
   int shard() const { return shard_; }
 
+  /// Layout-space bounds of the owned range (== vertex-id bounds when the
+  /// partition is contiguous).
   int owned_begin() const { return lo_; }
   int owned_end() const { return hi_; }
   int num_owned() const { return hi_ - lo_; }
-  bool owns(int v) const { return lo_ <= v && v < hi_; }
+  /// i-th owned original id, ascending in original id; i in [0, num_owned()).
+  int owned_vertex(int i) const { return part_.owned_vertex(shard_, i); }
+  bool owns(int v) const {
+    return part_.is_contiguous() ? (lo_ <= v && v < hi_)
+                                 : part_.shard_of(v) == shard_;
+  }
 
   /// Adjacency of an owned vertex (straight from the parent CSR; callers
   /// split owned vs halo endpoints with owns()).
@@ -116,6 +200,7 @@ class GraphView {
 
  private:
   const Graph* g_ = nullptr;
+  VertexPartition part_;  // O(1) copy (shared permutation tables)
   int shard_ = 0;
   int lo_ = 0;
   int hi_ = 0;

@@ -87,9 +87,14 @@ class SyncEngine {
       inboxes[static_cast<std::size_t>(e.to)].emplace_back(e.from,
                                                            std::move(e.msg));
     }
+    // Stable, matching ParallelSyncEngine::sort_inbox: ties (one sender,
+    // several messages to one destination) keep emission order on every
+    // execution path, so the parallel/sharded/renumbered merges reproduce
+    // this exact sequence (DESIGN.md §6).
     for (auto& inbox : inboxes) {
-      std::sort(inbox.begin(), inbox.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::stable_sort(
+          inbox.begin(), inbox.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
     }
     // CONGEST accounting (round_ledger.h): the heaviest directed edge sets
     // the round's cost. Pure reads of the merged inboxes — computed only in

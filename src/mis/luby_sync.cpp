@@ -65,13 +65,15 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
   // per-node streams are thread-count independent.
   for (int v = 0; v < n; ++v) engine.state(v).rng = rng.split();
 
-  const int num_shards = shards != nullptr ? shards->num_shards() : 1;
+  const VertexPartition part = shards != nullptr
+                                   ? shards->partition()
+                                   : VertexPartition::contiguous(n, 1);
   int remaining = n;
   while (remaining > 0) {
     // Private coin flips — no communication round. Each node draws from its
-    // own Rng: a shard-major parallel-for (v-private, so any placement
-    // yields the same streams).
-    sharded_for(pool, num_shards, n, [&](int v) {
+    // own Rng: a shard-major parallel-for over the runtime's partition
+    // (v-private, so any placement yields the same streams).
+    sharded_for(pool, part, [&](int v) {
       NodeState& s = engine.state(v);
       if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
     });

@@ -38,28 +38,31 @@ CsrSlice slice_of(const Graph& g, const VertexPartition& part, int shard) {
   DC_REQUIRE(shard >= 0 && shard < part.num_shards(), "shard out of range");
   const int lo = part.begin(shard);
   const int hi = part.end(shard);
-  CsrSlice slice;
-  slice.n_global = g.num_vertices();
-  slice.lo = lo;
-  slice.hi = hi;
-  slice.offsets.assign(1, 0);
-  slice.offsets.reserve(static_cast<std::size_t>(hi - lo) + 1);
-  for (int v = lo; v < hi; ++v) {
+  std::vector<std::vector<int>> rows(static_cast<std::size_t>(hi - lo));
+  for (int p = lo; p < hi; ++p) {
+    const int v = part.vertex_at(p);
+    auto& row = rows[static_cast<std::size_t>(p - lo)];
     const auto nbrs = g.neighbors(v);
-    slice.targets.insert(slice.targets.end(), nbrs.begin(), nbrs.end());
-    slice.offsets.push_back(static_cast<std::int64_t>(slice.targets.size()));
+    row.reserve(nbrs.size());
+    for (int u : nbrs) row.push_back(part.position_of(u));
   }
-  return slice;
+  // slice_from_rows re-sorts: original-id adjacency order is not layout
+  // order under a renumbered partition.
+  return slice_from_rows(g.num_vertices(), lo, hi, std::move(rows));
 }
 
-CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard) {
-  DC_REQUIRE(num_shards >= 1, "need at least one shard");
-  DC_REQUIRE(shard >= 0 && shard < num_shards, "shard out of range");
+namespace {
+
+// Shared streaming core: reads the header, obtains the partition from
+// make_part(n), then keeps only the layout rows owned by `shard`.
+template <typename MakePart>
+CsrSlice stream_slice(std::istream& in, int shard, MakePart&& make_part) {
   std::string line;
   int n = -1;
   std::int64_t m = -1;
   std::int64_t seen = 0;
   int lo = 0, hi = 0;
+  VertexPartition part;
   std::vector<std::vector<int>> rows;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -67,7 +70,9 @@ CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard) {
     if (n < 0) {
       DC_REQUIRE(static_cast<bool>(ls >> n >> m), "bad edge-list header");
       DC_REQUIRE(n >= 0 && m >= 0, "negative counts in header");
-      const VertexPartition part = VertexPartition::contiguous(n, num_shards);
+      part = make_part(n);
+      DC_REQUIRE(shard >= 0 && shard < part.num_shards(),
+                 "shard out of range");
       lo = part.begin(shard);
       hi = part.end(shard);
       rows.resize(static_cast<std::size_t>(hi - lo));
@@ -79,13 +84,29 @@ CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard) {
                "edge endpoint out of range");
     DC_REQUIRE(u != v, "self-loop in edge list");
     ++seen;
-    // Keep only what this rank owns; everything else streams past.
-    if (u >= lo && u < hi) rows[static_cast<std::size_t>(u - lo)].push_back(v);
-    if (v >= lo && v < hi) rows[static_cast<std::size_t>(v - lo)].push_back(u);
+    // Relabel into layout space and keep only what this rank owns;
+    // everything else streams past (identity relabeling when contiguous).
+    const int pu = part.position_of(u);
+    const int pv = part.position_of(v);
+    if (pu >= lo && pu < hi) {
+      rows[static_cast<std::size_t>(pu - lo)].push_back(pv);
+    }
+    if (pv >= lo && pv < hi) {
+      rows[static_cast<std::size_t>(pv - lo)].push_back(pu);
+    }
   }
   DC_REQUIRE(n >= 0, "edge list missing header");
   DC_REQUIRE(seen == m, "edge count does not match header");
   return slice_from_rows(n, lo, hi, std::move(rows));
+}
+
+}  // namespace
+
+CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard) {
+  DC_REQUIRE(num_shards >= 1, "need at least one shard");
+  return stream_slice(in, shard, [num_shards](int n) {
+    return VertexPartition::contiguous(n, num_shards);
+  });
 }
 
 CsrSlice load_edge_list_slice(const std::string& path, int num_shards,
@@ -93,6 +114,22 @@ CsrSlice load_edge_list_slice(const std::string& path, int num_shards,
   std::ifstream in(path);
   DC_REQUIRE(in.good(), "cannot open file for reading: " + path);
   return load_edge_list_slice(in, num_shards, shard);
+}
+
+CsrSlice load_edge_list_slice(std::istream& in, const VertexPartition& part,
+                              int shard) {
+  return stream_slice(in, shard, [&part](int n) {
+    DC_REQUIRE(part.num_vertices() == n,
+               "partition does not span the edge-list graph");
+    return part;
+  });
+}
+
+CsrSlice load_edge_list_slice(const std::string& path,
+                              const VertexPartition& part, int shard) {
+  std::ifstream in(path);
+  DC_REQUIRE(in.good(), "cannot open file for reading: " + path);
+  return load_edge_list_slice(in, part, shard);
 }
 
 std::vector<int> halo_of(const CsrSlice& slice) {

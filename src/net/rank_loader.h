@@ -39,6 +39,14 @@ namespace deltacol {
 /// (local indexing: owned vertex v lives at row v-lo); `targets` holds
 /// sorted **global** neighbor ids, so cross-shard edges are visible as
 /// targets outside [lo, hi).
+///
+/// **Coordinates.** Slices live in the partition's *layout* space, where
+/// ownership is contiguous by construction: for the contiguous partition
+/// that is the original id space unchanged; for a renumbered locality
+/// partition (graph/renumber.h) row p is original vertex
+/// part.vertex_at(p) and targets are layout positions too. Callers
+/// translate at the boundary with part.vertex_at / part.position_of —
+/// exactly the id-translation discipline the rest of the runtime uses.
 struct CsrSlice {
   int n_global = 0;
   int lo = 0;
@@ -60,6 +68,8 @@ struct CsrSlice {
 };
 
 /// Cuts shard \p shard's slice from an in-memory graph (reference path).
+/// Works for contiguous and renumbered partitions alike (see the
+/// coordinates note on CsrSlice).
 CsrSlice slice_of(const Graph& g, const VertexPartition& part, int shard);
 
 /// Streams the graph/io.h edge-list format and keeps only the rows owned by
@@ -68,6 +78,16 @@ CsrSlice slice_of(const Graph& g, const VertexPartition& part, int shard);
 CsrSlice load_edge_list_slice(std::istream& in, int num_shards, int shard);
 CsrSlice load_edge_list_slice(const std::string& path, int num_shards,
                               int shard);
+
+/// Streaming load under an explicit (possibly renumbered) partition, which
+/// must span the file's vertex count. Edge endpoints are relabeled into
+/// layout space on the fly through the partition's O(n) position table —
+/// the rank holds its own rows plus that table, never the full O(m) graph.
+/// Equals `slice_of(g, part, shard)` on the fully loaded graph.
+CsrSlice load_edge_list_slice(std::istream& in, const VertexPartition& part,
+                              int shard);
+CsrSlice load_edge_list_slice(const std::string& path,
+                              const VertexPartition& part, int shard);
 
 /// Sorted global ids of non-owned endpoints reachable from the slice — the
 /// same set as GraphView::halo() for this shard.

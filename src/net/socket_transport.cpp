@@ -293,6 +293,11 @@ SocketTransport::all_gather_rows(
     std::vector<std::vector<std::uint8_t>> local_row) {
   DC_REQUIRE(static_cast<int>(local_row.size()) == world_,
              "local row must carry one slot per destination rank");
+  for (int d = 0; d < world_; ++d) {
+    if (d == rank_) continue;
+    cross_payload_bytes_ +=
+        static_cast<std::int64_t>(local_row[static_cast<std::size_t>(d)].size());
+  }
   std::vector<std::vector<std::vector<std::uint8_t>>> rows(
       static_cast<std::size_t>(world_));
 

@@ -112,6 +112,14 @@ class SocketTransport final : public Transport {
   std::int64_t wire_bytes_received() const { return bytes_received_; }
   std::int64_t frames_sent() const { return frames_sent_; }
 
+  /// Encoded payload bytes addressed to *other* ranks across all exchanges —
+  /// what an owner-routed (non-replicated) exchange would put on the wire.
+  /// The replicated merge ships the full row to every peer, so
+  /// wire_bytes_sent is partition-invariant; this counter is the traffic a
+  /// locality partition (graph/renumber.h) actually removes, and the number
+  /// bench_e18 and the launchers report as the distributed win.
+  std::int64_t cross_payload_bytes() const { return cross_payload_bytes_; }
+
  private:
   void send_row_frames(const std::vector<std::vector<std::uint8_t>>& row);
   void close_all();
@@ -124,6 +132,7 @@ class SocketTransport final : public Transport {
   std::int64_t bytes_sent_ = 0;
   std::int64_t bytes_received_ = 0;
   std::int64_t frames_sent_ = 0;
+  std::int64_t cross_payload_bytes_ = 0;
 };
 
 }  // namespace deltacol

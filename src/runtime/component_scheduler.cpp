@@ -86,9 +86,8 @@ std::int64_t ComponentScheduler::run_max_total_placed(
 
 namespace {
 
-std::vector<int> owner_placement(int n, int num_shards,
+std::vector<int> owner_placement(const VertexPartition& part,
                                  const std::vector<int>& owner_vertex) {
-  const VertexPartition part = VertexPartition::contiguous(n, num_shards);
   std::vector<int> placement(owner_vertex.size());
   for (std::size_t i = 0; i < owner_vertex.size(); ++i) {
     placement[i] = part.shard_of(owner_vertex[i]);
@@ -99,27 +98,43 @@ std::vector<int> owner_placement(int n, int num_shards,
 }  // namespace
 
 void ComponentScheduler::run_owner_placed(
-    int n, int num_shards, const std::vector<int>& owner_vertex,
+    const VertexPartition& part, const std::vector<int>& owner_vertex,
     const std::function<void(int)>& job) const {
-  if (num_shards <= 1) {
+  if (part.num_shards() <= 1) {
     run(static_cast<int>(owner_vertex.size()), job);
     return;
   }
-  InProcessTransport transport(num_shards, pool_);
-  run_placed(owner_placement(n, num_shards, owner_vertex), transport, job);
+  InProcessTransport transport(part.num_shards(), pool_);
+  run_placed(owner_placement(part, owner_vertex), transport, job);
+}
+
+std::int64_t ComponentScheduler::run_max_total_owner_placed(
+    const VertexPartition& part, const std::vector<int>& owner_vertex,
+    const std::function<void(int, RoundLedger&)>& job,
+    std::int64_t congest_bits) const {
+  if (part.num_shards() <= 1) {
+    return run_max_total(static_cast<int>(owner_vertex.size()), job,
+                         congest_bits);
+  }
+  InProcessTransport transport(part.num_shards(), pool_);
+  return run_max_total_placed(owner_placement(part, owner_vertex), transport,
+                              job, congest_bits);
+}
+
+void ComponentScheduler::run_owner_placed(
+    int n, int num_shards, const std::vector<int>& owner_vertex,
+    const std::function<void(int)>& job) const {
+  run_owner_placed(VertexPartition::contiguous(n, std::max(1, num_shards)),
+                   owner_vertex, job);
 }
 
 std::int64_t ComponentScheduler::run_max_total_owner_placed(
     int n, int num_shards, const std::vector<int>& owner_vertex,
     const std::function<void(int, RoundLedger&)>& job,
     std::int64_t congest_bits) const {
-  if (num_shards <= 1) {
-    return run_max_total(static_cast<int>(owner_vertex.size()), job,
-                         congest_bits);
-  }
-  InProcessTransport transport(num_shards, pool_);
-  return run_max_total_placed(owner_placement(n, num_shards, owner_vertex),
-                              transport, job, congest_bits);
+  return run_max_total_owner_placed(
+      VertexPartition::contiguous(n, std::max(1, num_shards)), owner_vertex,
+      job, congest_bits);
 }
 
 void charge_max_component(RoundLedger& parent,

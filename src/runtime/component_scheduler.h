@@ -27,7 +27,8 @@
 
 namespace deltacol {
 
-class Transport;  // src/runtime/mailbox.h
+class Transport;        // src/runtime/mailbox.h
+class VertexPartition;  // src/graph/partition.h
 
 class ComponentScheduler {
  public:
@@ -80,10 +81,20 @@ class ComponentScheduler {
 
   /// The canonical home-shard convenience used by the api-level component
   /// fan-out and the Phase-(6) leftover fan-out: job i is placed on the
-  /// shard owning `owner_vertex[i]` under the contiguous partition of
-  /// [0, n) into num_shards ranges, executed through an in-process
-  /// transport over this scheduler's pool. num_shards <= 1 falls back to
-  /// the unplaced run()/run_max_total().
+  /// shard owning `owner_vertex[i]` under `part` (contiguous or
+  /// locality-renumbered — placement is wherever part.shard_of says the
+  /// owner lives), executed through an in-process transport over this
+  /// scheduler's pool. A single shard falls back to the unplaced
+  /// run()/run_max_total().
+  void run_owner_placed(const VertexPartition& part,
+                        const std::vector<int>& owner_vertex,
+                        const std::function<void(int)>& job) const;
+  std::int64_t run_max_total_owner_placed(
+      const VertexPartition& part, const std::vector<int>& owner_vertex,
+      const std::function<void(int, RoundLedger&)>& job,
+      std::int64_t congest_bits = 0) const;
+
+  /// Contiguous-partition convenience (the pre-PR-8 signatures).
   void run_owner_placed(int n, int num_shards,
                         const std::vector<int>& owner_vertex,
                         const std::function<void(int)>& job) const;

@@ -32,16 +32,29 @@ ShardRuntime::ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool)
 
 ShardRuntime::ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool,
                            std::unique_ptr<Transport> transport)
-    : part_(VertexPartition::contiguous(
-          g.num_vertices(), VertexPartition::resolve_num_shards(num_shards))),
+    : ShardRuntime(
+          g,
+          VertexPartition::contiguous(
+              g.num_vertices(),
+              VertexPartition::resolve_num_shards(num_shards)),
+          pool, std::move(transport)) {}
+
+ShardRuntime::ShardRuntime(const Graph& g, VertexPartition part,
+                           ThreadPool* pool,
+                           std::unique_ptr<Transport> transport)
+    : part_(std::move(part)),
       views_(build_graph_views(g, part_)),
-      transport_(std::move(transport)),
+      transport_(transport != nullptr
+                     ? std::move(transport)
+                     : std::make_unique<InProcessTransport>(
+                           part_.num_shards(), pool)),
       pool_(pool),
       sent_(static_cast<std::size_t>(part_.num_shards()) *
                 static_cast<std::size_t>(part_.num_shards()),
             0),
       sent_bits_(sent_.size(), 0) {
-  DC_REQUIRE(transport_ != nullptr, "null transport");
+  DC_REQUIRE(part_.num_vertices() == g.num_vertices(),
+             "partition does not span the graph");
   DC_REQUIRE(transport_->num_shards() == part_.num_shards(),
              "transport shard count disagrees with the partition");
 }

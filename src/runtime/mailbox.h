@@ -32,10 +32,14 @@
 /// within a source shard, envelopes are staged in ascending sender order
 /// (chunk-indexed staging concatenated in chunk order, exactly the
 /// ParallelSyncEngine discipline); destination shards drain slots in
-/// ascending source-shard order. Because the partition's ranges ascend with
-/// the shard id, shard-major concatenation of sender-ordered slots *is*
-/// global ascending sender order — the serial engine's inbox fill order —
-/// so every inbox is byte-identical for every (shards, threads) pair.
+/// ascending source-shard order and the engine re-sorts each inbox
+/// *stably* by sender. Under the contiguous partition shard-major
+/// concatenation already is global ascending sender order — the serial
+/// engine's inbox fill order; under a renumbered locality-aware partition
+/// (graph/partition.h, PR 8) it is not, but the stable sort restores it
+/// exactly, because each sender's messages to one destination live in a
+/// single slot in emission order. Either way every inbox is byte-identical
+/// for every (shards, threads, partition) combination.
 #pragma once
 
 #include <cstdint>
@@ -117,9 +121,14 @@ class ShardRuntime {
   /// In-process runtime: S shards on `pool` (nullptr runs shards serially).
   ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool);
   /// Custom backend (tests inject scheduling-perverse transports to pin
-  /// order-independence; a future distributed runtime injects its own).
+  /// order-independence; the socket runtime injects SocketTransport).
   ShardRuntime(const Graph& g, int num_shards, ThreadPool* pool,
                std::unique_ptr<Transport> transport);
+  /// Explicit partition (contiguous or renumbered — graph/renumber.h); the
+  /// partition's shard count is authoritative. transport == nullptr builds
+  /// the in-process backend.
+  ShardRuntime(const Graph& g, VertexPartition part, ThreadPool* pool,
+               std::unique_ptr<Transport> transport = nullptr);
 
   int num_shards() const { return part_.num_shards(); }
   const VertexPartition& partition() const { return part_; }
@@ -291,27 +300,38 @@ class Mailbox {
   std::vector<std::uint8_t> filled_;       // fill-once-per-round guards
 };
 
-/// Shard-major sweep: body(v) for every v in [0, n), with each shard's
-/// contiguous range as one placement unit on the pool (the unit a
-/// distributed runtime would pin to a rank). Falls back to pooled_for when
-/// num_shards <= 1. The body must write only v-private state — the same
-/// contract as pooled_for — so every (num_shards, threads) pair yields
-/// identical results; only placement and wall-clock change.
+/// Shard-major sweep: body(v) for every vertex, with each shard's owned set
+/// as one placement unit on the pool (the unit a distributed runtime would
+/// pin to a rank). Falls back to pooled_for when num_shards <= 1. The body
+/// must write only v-private state — the same contract as pooled_for — so
+/// every (num_shards, threads, partition) combination yields identical
+/// results; only placement and wall-clock change.
+template <typename Body>
+void sharded_for(ThreadPool* pool, const VertexPartition& part,
+                 const Body& body) {
+  if (part.num_shards() <= 1) {
+    pooled_for(pool, 0, part.num_vertices(), body);
+    return;
+  }
+  const auto shard_body = [&part, &body](int s) {
+    const int count = part.size(s);
+    for (int i = 0; i < count; ++i) body(part.owned_vertex(s, i));
+  };
+  if (pool != nullptr) {
+    pool->parallel_chunks(part.num_shards(), shard_body);
+  } else {
+    for (int s = 0; s < part.num_shards(); ++s) shard_body(s);
+  }
+}
+
+/// Contiguous-partition convenience overload (the pre-PR-8 signature).
 template <typename Body>
 void sharded_for(ThreadPool* pool, int num_shards, int n, const Body& body) {
   if (num_shards <= 1) {
     pooled_for(pool, 0, n, body);
     return;
   }
-  const VertexPartition part = VertexPartition::contiguous(n, num_shards);
-  const auto shard_body = [&part, &body](int s) {
-    for (int v = part.begin(s); v < part.end(s); ++v) body(v);
-  };
-  if (pool != nullptr) {
-    pool->parallel_chunks(num_shards, shard_body);
-  } else {
-    for (int s = 0; s < num_shards; ++s) shard_body(s);
-  }
+  sharded_for(pool, VertexPartition::contiguous(n, num_shards), body);
 }
 
 }  // namespace deltacol

@@ -39,14 +39,16 @@
 ///      rank's global state bit-identical while the send sweep is genuinely
 ///      partitioned across processes.
 ///
-/// Because partition ranges ascend with the shard id, shard-major draining
-/// of sender-ordered slots reproduces the global ascending sender order —
-/// the serial fill order — so the inbox contents handed to receive() are
-/// byte-for-byte what SyncEngine produces. Colorings, ledgers and stats are
-/// bit-identical for every (shards, threads) combination, including
-/// pool == nullptr and no runtime (the inline serial path). The test suite
-/// pins this equivalence down (tests/test_runtime.cpp, tests/
-/// test_mailbox.cpp).
+/// Every staging path presents one sender's messages to one destination in
+/// emission order, and the per-inbox merge sorts *stably* by sender, so the
+/// inbox contents handed to receive() are byte-for-byte what SyncEngine
+/// produces — for contiguous partitions (where shard-major draining already
+/// yields globally ascending senders) and for renumbered locality-aware
+/// partitions alike (where it does not; DESIGN.md §6). Colorings, ledgers
+/// and stats are bit-identical for every (shards, threads, partition)
+/// combination, including pool == nullptr and no runtime (the inline serial
+/// path). The test suite pins this equivalence down (tests/test_runtime.cpp,
+/// tests/test_mailbox.cpp, tests/test_renumber.cpp).
 ///
 /// Additional contract on the callbacks (trivially satisfied by per-node
 /// LOCAL algorithms): send(v, state) reads only v's state and the graph;
@@ -179,9 +181,17 @@ class ParallelSyncEngine {
     Msg msg;
   };
 
+  // Stable by design: every staging path (serial deliver, chunk replay,
+  // mailbox slot drain) presents one sender's messages to one destination in
+  // emission order, so a *stable* sort by sender yields "ascending sender,
+  // ties in emission order" — the serial fill order — no matter how the
+  // pre-sort concatenation was arranged. This is what makes renumbered
+  // (non-ascending-range) partitions merge identically to contiguous ones
+  // (DESIGN.md §6).
   static void sort_inbox(Inbox& inbox) {
-    std::sort(inbox.begin(), inbox.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::stable_sort(
+        inbox.begin(), inbox.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   void deliver(int from, Outbox&& out, std::vector<Inbox>& inboxes) {
@@ -193,10 +203,26 @@ class ParallelSyncEngine {
   }
 
   // Sends for the contiguous sender range [lo, hi) into `buf`, in sender
-  // order (the staging primitive both strategies share).
+  // order (the staging primitive of the chunked strategy).
   void stage_range(const SendFn& send, int lo, int hi,
                    std::vector<Envelope>& buf) {
     for (int v = lo; v < hi; ++v) {
+      for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
+        DC_REQUIRE(graph_.has_edge(v, to),
+                   "LOCAL model: messages only travel along edges");
+        buf.push_back(Envelope{to, v, std::move(msg)});
+      }
+    }
+  }
+
+  // Sends for the owned-index range [ilo, ihi) of a shard view into `buf`,
+  // in ascending owned order (== ascending original sender id; the sharded
+  // strategy's staging primitive — identical to stage_range over
+  // [begin, end) when the partition is contiguous).
+  void stage_owned(const SendFn& send, const GraphView& view, int ilo,
+                   int ihi, std::vector<Envelope>& buf) {
+    for (int i = ilo; i < ihi; ++i) {
+      const int v = view.owned_vertex(i);
       for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
         DC_REQUIRE(graph_.has_edge(v, to),
                    "LOCAL model: messages only travel along edges");
@@ -235,18 +261,20 @@ class ParallelSyncEngine {
     std::vector<std::int64_t> edge_bits(
         congest ? static_cast<std::size_t>(n) : 0, 0);
 
-    // Barrier 1: each source shard stages its owned range (chunked on the
-    // pool, nested region) and posts into its mailbox row in sender order.
+    // Barrier 1: each source shard stages its owned vertices (chunked on
+    // the pool, nested region) and posts into its mailbox row in ascending
+    // owned order — ascending original sender id under every partition,
+    // because owned lists ascend by construction (graph/partition.cpp).
     transport.run_shards([&](int s) {
       const GraphView& view = shards_->view(s);
-      const int lo = view.owned_begin();
-      const int hi = view.owned_end();
+      const int count = view.num_owned();
       const int num_chunks =
-          pool_ != nullptr ? pool_->num_range_chunks(hi - lo) : 1;
+          pool_ != nullptr ? pool_->num_range_chunks(count) : 1;
       std::vector<std::vector<Envelope>> staged(
           static_cast<std::size_t>(std::max(1, num_chunks)));
-      pooled_ranges(pool_, lo, hi, [&](int chunk, int clo, int chi) {
-        stage_range(send, clo, chi, staged[static_cast<std::size_t>(chunk)]);
+      pooled_ranges(pool_, 0, count, [&](int chunk, int clo, int chi) {
+        stage_owned(send, view, clo, chi,
+                    staged[static_cast<std::size_t>(chunk)]);
       });
       // Chunk ranges ascend, so replaying chunk-major keeps sender order.
       for (auto& buf : staged) {
@@ -299,14 +327,16 @@ class ParallelSyncEngine {
               e.from, std::move(e.msg));
         }
       }
-      pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
+      pooled_for(pool_, 0, view.num_owned(), [&](int i) {
+        const int v = view.owned_vertex(i);
         sort_inbox(inboxes[static_cast<std::size_t>(v)]);
         if (congest) {
           edge_bits[static_cast<std::size_t>(v)] =
               max_edge_bits_in_inbox(inboxes[static_cast<std::size_t>(v)]);
         }
       });
-      pooled_for(pool_, view.owned_begin(), view.owned_end(), [&](int v) {
+      pooled_for(pool_, 0, view.num_owned(), [&](int i) {
+        const int v = view.owned_vertex(i);
         receive(v, states_[static_cast<std::size_t>(v)],
                 inboxes[static_cast<std::size_t>(v)]);
       });
