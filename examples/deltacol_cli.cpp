@@ -26,8 +26,8 @@ namespace {
 void usage(std::ostream& out) {
   out << "usage: deltacol_cli <edge-list> [--alg small|large|det|ps|naive]"
          " [--seed S] [--threads T] [--shards S] [--congest-bits B]"
-         " [--partition contiguous|cluster] [--paper-constants]"
-         " [--dot out.dot]\n"
+         " [--partition contiguous|cluster] [--mode deterministic|fast]"
+         " [--paper-constants] [--dot out.dot]\n"
          "       [--transport inproc|tcp] [--rank R --world W"
          " (--endpoints host:port,... | --port-base P)]\n"
          "  --threads T   worker threads for the parallel runtime (0 = all\n"
@@ -44,6 +44,13 @@ void usage(std::ostream& out) {
          "                bits per edge per round; <= 0 = LOCAL model).\n"
          "                Accounting only: the coloring is identical for\n"
          "                any B, only the reported round totals change\n"
+         "  --mode deterministic|fast\n"
+         "                execution mode (runtime/execution_mode.h).\n"
+         "                deterministic (default): bit-identical results\n"
+         "                for every (threads, shards) shape. fast: relaxed\n"
+         "                merge/claim ordering — still a valid\n"
+         "                Delta-coloring, but only the validity contract is\n"
+         "                guaranteed across shapes\n"
          "  --transport tcp\n"
          "                join a multi-process cluster as one rank (flags or\n"
          "                DELTACOL_RANK/DELTACOL_WORLD/DELTACOL_ENDPOINTS\n"
@@ -97,6 +104,13 @@ int main(int argc, char** argv) {
         usage(std::cerr);
         return 2;
       }
+    } else if (a == "--mode" && i + 1 < argc) {
+      if (!parse_execution_mode(argv[++i], &opt.mode)) {
+        usage(std::cerr);
+        return 2;
+      }
+    } else if (a == "--perturb-salt" && i + 1 < argc) {
+      opt.perturb_salt = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--paper-constants") {
       opt.use_paper_constants = true;
     } else if (a == "--dot" && i + 1 < argc) {

@@ -59,7 +59,7 @@ void usage(std::ostream& out) {
          "         [--endpoints host:port,...] [--port-base P]\n"
          "         [--alg all|small|large|det|ps|naive] [--seed S]\n"
          "         [--congest-bits B] [--partition contiguous|cluster]\n"
-         "         [--out FILE]\n"
+         "         [--mode deterministic|fast] [--out FILE]\n"
          "  tcp     one process per rank; rank/world/endpoints from flags or\n"
          "          DELTACOL_RANK/DELTACOL_WORLD/DELTACOL_ENDPOINTS env\n"
          "  inproc  single-process reference producing the canonical output\n"
@@ -68,7 +68,12 @@ void usage(std::ostream& out) {
          "          shard ownership map (graph/renumber.h). Placement only:\n"
          "          all canonical lines except the slice/cross-edge stats are\n"
          "          identical for either choice; cluster cuts the cross-rank\n"
-         "          payload reported on the \"# rank=\" lines\n";
+         "          payload reported on the \"# rank=\" lines\n"
+         "  --mode deterministic|fast\n"
+         "          execution mode. CAUTION under tcp: the pipeline runs\n"
+         "          replicated per rank, so fast mode keeps the cross-rank\n"
+         "          output diff clean only with the (default) single thread\n"
+         "          per rank, where fast coincides with deterministic\n";
 }
 
 std::uint64_t fnv1a(const void* data, std::size_t len) {
@@ -106,6 +111,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::int64_t congest_bits = 0;
   PartitionStrategy strategy = PartitionStrategy::kContiguous;
+  ExecutionMode mode = ExecutionMode::kDeterministic;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -138,6 +144,9 @@ int main(int argc, char** argv) {
     } else if (a == "--partition") {
       DC_REQUIRE(parse_partition_strategy(next("--partition"), &strategy),
                  "--partition must be contiguous or cluster");
+    } else if (a == "--mode") {
+      DC_REQUIRE(parse_execution_mode(next("--mode").c_str(), &mode),
+                 "--mode must be deterministic or fast");
     } else if (a == "--out") {
       out_path = next("--out");
     } else {
@@ -305,6 +314,7 @@ int main(int argc, char** argv) {
       opt.num_shards = S;
       opt.congest_bits = congest_bits;
       opt.partition = strategy;
+      opt.mode = mode;
       const DeltaColoringResult res = delta_color(g, alg, opt);
       validate_delta_coloring(g, res.coloring, res.delta);
       std::vector<int> colors(res.coloring.begin(), res.coloring.end());

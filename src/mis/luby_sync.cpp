@@ -56,10 +56,11 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
                                            RoundLedger& ledger,
                                            std::string_view phase,
                                            ThreadPool* pool,
-                                           ShardRuntime* shards) {
+                                           ShardRuntime* shards,
+                                           ExecutionMode mode) {
   const int n = g.num_vertices();
   ParallelSyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase),
-                                            pool, shards);
+                                            pool, shards, mode);
   // LOCAL-model nodes own private randomness: seed each node once from the
   // caller's stream (private coins, not communication) — serially, so the
   // per-node streams are thread-count independent.
@@ -73,7 +74,7 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
     // Private coin flips — no communication round. Each node draws from its
     // own Rng: a shard-major parallel-for over the runtime's partition
     // (v-private, so any placement yields the same streams).
-    sharded_for(pool, part, [&](int v) {
+    sharded_for(pool, part, mode, [&](int v) {
       NodeState& s = engine.state(v);
       if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
     });

@@ -8,7 +8,8 @@ namespace deltacol {
 
 std::vector<bool> luby_mis(const Graph& g, Rng& rng, RoundLedger& ledger,
                            std::string_view phase, int rounds_per_step,
-                           ThreadPool* pool, int num_shards) {
+                           ThreadPool* pool, int num_shards,
+                           ExecutionMode mode) {
   DC_REQUIRE(rounds_per_step >= 1, "rounds_per_step must be >= 1");
   const int n = g.num_vertices();
   std::vector<bool> in_set(static_cast<std::size_t>(n), false);
@@ -28,7 +29,7 @@ std::vector<bool> luby_mis(const Graph& g, Rng& rng, RoundLedger& ledger,
     // effectively impossible but the break keeps the step deterministic
     // given the drawn priorities.) The scan reads frozen priorities and
     // writes v-private flags: a shard-major parallel-for.
-    sharded_for(pool, num_shards, n, [&](int v) {
+    sharded_for(pool, num_shards, n, mode, [&](int v) {
       is_min[static_cast<std::size_t>(v)] = 0;
       if (!active[static_cast<std::size_t>(v)]) return;
       bool local_min = true;

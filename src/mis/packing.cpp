@@ -1,6 +1,7 @@
 #include "mis/packing.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/frontier_bfs.h"
 #include "runtime/thread_pool.h"
@@ -25,7 +26,8 @@ int batch_capacity(int executors) { return std::max(256, 32 * executors); }
 
 std::vector<int> greedy_alpha_packing(const Graph& g,
                                       const std::vector<int>& subset,
-                                      int alpha, ThreadPool* pool) {
+                                      int alpha, ThreadPool* pool,
+                                      ExecutionMode mode) {
   // Without workers the round structure degenerates to one ball per pick —
   // the reference's exact work pattern with extra bookkeeping — so the
   // serial engine IS the reference (bit-identical by the equivalence
@@ -88,18 +90,31 @@ std::vector<int> greedy_alpha_packing(const Graph& g,
     // per-item loops) must not serialize these batches.
     const int batch_size = static_cast<int>(batch.size());
     const int num_chunks = std::min(max_chunks, batch_size);
+    std::atomic<int> next{0};  // fast mode's first-come claim cursor
     pool->parallel_chunks(num_chunks, [&](int chunk) {
-      const int lo = batch_size * chunk / num_chunks;
-      const int hi = batch_size * (chunk + 1) / num_chunks;
       BfsScratch& scratch = scratches[static_cast<std::size_t>(chunk)];
       FrontierBfs engine;
-      for (int i = lo; i < hi; ++i) {
+      const auto query_ball = [&](int i) {
         const int ci = batch[static_cast<std::size_t>(i)];
         engine.run(g, scratch, sorted[static_cast<std::size_t>(ci)], radius);
         auto& cf = conflict[static_cast<std::size_t>(i)];
         cf.clear();
         scratch.members_into(cand_id, cf);
+      };
+      if (mode == ExecutionMode::kFast) {
+        // First-come claiming (see header): each executor grabs the next
+        // unqueried ball; conflict slots stay candidate-private, so only
+        // the executor-to-ball assignment is relaxed.
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= batch_size) break;
+          query_ball(i);
+        }
+        return;
       }
+      const int lo = batch_size * chunk / num_chunks;
+      const int hi = batch_size * (chunk + 1) / num_chunks;
+      for (int i = lo; i < hi; ++i) query_ball(i);
     });
 
     // (b) Commit pass, ascending id: a candidate joins iff its conflict set

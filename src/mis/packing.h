@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/execution_mode.h"
 
 namespace deltacol {
 
@@ -57,9 +58,18 @@ class ThreadPool;  // src/runtime/thread_pool.h; nullptr = serial
 // within alpha-1 of an earlier (smaller-id) pick. Batch-parallel on `pool`;
 // the result is bit-identical for every thread count, including
 // pool == nullptr.
-std::vector<int> greedy_alpha_packing(const Graph& g,
-                                      const std::vector<int>& subset,
-                                      int alpha, ThreadPool* pool = nullptr);
+//
+// `mode` (runtime/execution_mode.h): kFast replaces the static per-chunk
+// ball-query ranges of step (a) with first-come atomic-cursor claiming —
+// balls vary wildly in cost, so static ranges leave executors idle behind a
+// heavy chunk. A pure scheduling relaxation: every conflict set is computed
+// into its candidate-private slot either way and the serial commit pass (b)
+// is untouched, so the returned packing is the same — only which executor
+// ran which ball query changes.
+std::vector<int> greedy_alpha_packing(
+    const Graph& g, const std::vector<int>& subset, int alpha,
+    ThreadPool* pool = nullptr,
+    ExecutionMode mode = ExecutionMode::kDeterministic);
 
 // The serial reference: the literal one-candidate-at-a-time greedy with
 // truncated relaxation BFS marking. Kept as the golden oracle for the batch

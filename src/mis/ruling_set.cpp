@@ -95,7 +95,7 @@ std::vector<bool> aglp_independent_set(const Graph& aux, RoundLedger& ledger,
 std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
                             int alpha, RulingSetEngine engine, Rng* rng,
                             RoundLedger& ledger, std::string_view phase,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, ExecutionMode mode) {
   DC_REQUIRE(alpha >= 1, "alpha must be >= 1");
   for (int s : subset) {
     DC_REQUIRE(0 <= s && s < g.num_vertices(), "subset vertex out of range");
@@ -110,7 +110,7 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
     // greedy for every thread count); covering radius alpha-1 follows
     // because a skipped vertex was within alpha-1 of an earlier pick.
     // Charged at the AGLP bitwise price (see header).
-    std::vector<int> out = greedy_alpha_packing(g, subset, alpha, pool);
+    std::vector<int> out = greedy_alpha_packing(g, subset, alpha, pool, mode);
     const int bits =
         subset.size() <= 1
             ? 1
@@ -124,7 +124,8 @@ std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
   switch (engine) {
     case RulingSetEngine::kRandomized: {
       DC_REQUIRE(rng != nullptr, "randomized engine needs an Rng");
-      in_set = luby_mis(aux, *rng, ledger, phase, per_step, pool);
+      in_set = luby_mis(aux, *rng, ledger, phase, per_step, pool,
+                        /*num_shards=*/1, mode);
       break;
     }
     case RulingSetEngine::kDeterministic:

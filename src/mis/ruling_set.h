@@ -18,6 +18,7 @@
 
 #include "graph/graph.h"
 #include "local/round_ledger.h"
+#include "runtime/execution_mode.h"
 #include "util/rng.h"
 
 namespace deltacol {
@@ -47,11 +48,15 @@ enum class RulingSetEngine {
 };
 
 // Ruling set of `subset` (pass all vertices for a ruling set of G). rng may
-// be null for the deterministic engine.
+// be null for the deterministic engine. `mode` kFast forwards to the fast
+// scheduling paths of the underlying engines (packing's first-come ball
+// claiming, Luby's dynamically chunked scans) — the set returned satisfies
+// the same (alpha, beta) contract either way.
 std::vector<int> ruling_set(const Graph& g, const std::vector<int>& subset,
                             int alpha, RulingSetEngine engine, Rng* rng,
                             RoundLedger& ledger, std::string_view phase,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            ExecutionMode mode = ExecutionMode::kDeterministic);
 
 // Covering radius in auxiliary-graph hops guaranteed by each engine: the
 // MIS-based engines give 1 (maximality); the bitwise deterministic engine

@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "util/check.h"
 
 namespace deltacol {
+
+namespace {
+// Ranges below this size run inline: dispatch latency would exceed the work.
+// Purely a performance threshold — results are chunk-count independent.
+constexpr int kMinParallelItems = 256;
+
+// SplitMix64 finalizer: the perturbation hooks need cheap stateless hashes
+// that are pure functions of their inputs (so num_range_chunks and
+// parallel_ranges always agree on the jittered chunk count).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
 
 // One parallel_chunks call. Chunks are claimed through an atomic cursor (so
 // uneven chunks load-balance dynamically), results and exceptions are keyed
@@ -100,6 +117,28 @@ void ThreadPool::parallel_chunks(int num_chunks,
     for (int c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
+  if (perturb_salt_ != 0) {
+    // Stall injection (set_perturb_salt): ~1 in 4 chunks sleeps 50-450 µs
+    // before running, keyed purely on (salt, chunk index). The wrapper lives
+    // on this frame, which blocks until the region completes below.
+    const std::uint64_t salt = perturb_salt_;
+    const std::function<void(int)> stalled = [&chunk_fn, salt](int c) {
+      const std::uint64_t h =
+          mix64(salt ^ (0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(c) + 1)));
+      if ((h & 3u) == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50 + static_cast<long>((h >> 2) % 400)));
+      }
+      chunk_fn(c);
+    };
+    run_region(num_chunks, stalled);
+    return;
+  }
+  run_region(num_chunks, chunk_fn);
+}
+
+void ThreadPool::run_region(int num_chunks,
+                            const std::function<void(int)>& chunk_fn) {
   auto region = std::make_shared<Region>(num_chunks, chunk_fn);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -125,12 +164,6 @@ void ThreadPool::parallel_chunks(int num_chunks,
   }
 }
 
-namespace {
-// Ranges below this size run inline: dispatch latency would exceed the work.
-// Purely a performance threshold — results are chunk-count independent.
-constexpr int kMinParallelItems = 256;
-}  // namespace
-
 int ThreadPool::num_range_chunks(int count, int max_chunks) const {
   if (count <= 0) return 0;
   // A few chunks per executor smooths imbalance without shrinking chunks so
@@ -139,6 +172,19 @@ int ThreadPool::num_range_chunks(int count, int max_chunks) const {
   if (num_threads_ <= 1 || count < kMinParallelItems) return 1;
   int chunks = std::min(count, num_threads_ * 4);
   if (max_chunks > 0) chunks = std::min(chunks, max_chunks);
+  if (perturb_salt_ != 0 && chunks > 1) {
+    // Chunk-size randomization: resample from [1, 2 * chunks], clamped to
+    // the same caps as above. Purely a function of (count, max_chunks,
+    // salt) — callers that pre-size per-chunk buffers with this function
+    // see exactly the partition parallel_ranges dispatches.
+    const std::uint64_t h =
+        mix64(perturb_salt_ ^ (static_cast<std::uint64_t>(count) << 20) ^
+              static_cast<std::uint64_t>(max_chunks));
+    int jittered = 1 + static_cast<int>(h % (2 * static_cast<std::uint64_t>(chunks)));
+    jittered = std::min(jittered, count);
+    if (max_chunks > 0) jittered = std::min(jittered, max_chunks);
+    chunks = jittered;
+  }
   return chunks;
 }
 

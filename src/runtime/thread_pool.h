@@ -30,6 +30,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -55,6 +56,19 @@ class ThreadPool {
   /// Resolves a DeltaColoringOptions-style thread count: 0 means "all
   /// hardware threads", anything else is clamped to >= 1.
   static int resolve_num_threads(int requested);
+
+  /// Schedule perturbation (chaos testing; DeltaColoringOptions::
+  /// perturb_salt). A nonzero salt (a) jitters the chunk count
+  /// num_range_chunks returns — still a pure function of
+  /// (count, max_chunks, salt), so pre-sized per-chunk buffers stay
+  /// consistent with the ranges actually dispatched — and (b) injects
+  /// sub-millisecond sleeps ahead of pseudo-randomly chosen chunk bodies in
+  /// parallel_chunks, scrambling which thread reaches shared state first.
+  /// Results of callers honoring the chunk-index discipline are unchanged
+  /// (boundaries and timing are never observable); fast-mode code paths see
+  /// hostile interleavings. 0 (default) disables both.
+  void set_perturb_salt(std::uint64_t salt) { perturb_salt_ = salt; }
+  std::uint64_t perturb_salt() const { return perturb_salt_; }
 
   /// Runs chunk_fn(0) .. chunk_fn(num_chunks - 1), concurrently when the
   /// pool has workers. Blocks until every chunk finished; rethrows the
@@ -91,10 +105,15 @@ class ThreadPool {
   struct Region;
 
   void worker_loop();
+  // Opens a region for `chunk_fn` and blocks until every chunk completed
+  // (the parallel tail of parallel_chunks, after its serial/perturbation
+  // dispatch decisions).
+  void run_region(int num_chunks, const std::function<void(int)>& chunk_fn);
   // Drains chunks of `region` on the calling thread until none remain.
   static void drain(Region& region);
 
   int num_threads_ = 1;
+  std::uint64_t perturb_salt_ = 0;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

@@ -79,6 +79,13 @@ DeltaColoringOptions random_options(Rng& rng) {
   if (rng.next_bool(0.5)) {
     opt.congest_bits = rng.next_int(1, 512);  // tight, uneven caps
   }
+  // Half the runs take the relaxed-order engines; the validity invariant
+  // below is exactly fast mode's whole contract. A random perturb_salt on
+  // top makes the relaxed interleavings actually vary run to run.
+  if (rng.next_bool(0.5)) {
+    opt.mode = ExecutionMode::kFast;
+    if (rng.next_bool(0.5)) opt.perturb_salt = rng.next_u64();
+  }
   return opt;
 }
 
@@ -117,6 +124,56 @@ TEST_P(FuzzTest, EveryRunYieldsValidColoringOrDocumentedRejection) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1, 13));
+
+// Same-seed stress: 8 back-to-back runs of one (graph, algorithm, options)
+// triple. Deterministic mode must produce 8 bit-identical results even with
+// schedule perturbation on (the salt moves wall-clock only); fast mode must
+// produce 8 *valid* results — each run may take different interleavings,
+// and none of them may leak an improper or incomplete coloring.
+TEST(FuzzStress, EightSameSeedRunsPerMode) {
+  Rng rng(0x57E55);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = random_workload(rng);
+    if (g.max_degree() < 3) continue;
+    bool has_big_clique = false;
+    for (const auto& comp : connected_components(g).vertex_sets()) {
+      const auto sub = induced_subgraph(g, comp);
+      if (is_clique(sub.graph) &&
+          sub.graph.num_vertices() == g.max_degree() + 1) {
+        has_big_clique = true;
+      }
+    }
+    if (has_big_clique) continue;
+    const Algorithm alg =
+        g.max_degree() >= 4 ? Algorithm::kRandomizedLarge
+                            : Algorithm::kRandomizedSmall;
+    DeltaColoringOptions opt;
+    opt.seed = rng.next_u64();
+    opt.num_threads = 8;
+    opt.num_shards = 2;
+    opt.perturb_salt = rng.next_u64();
+
+    const auto det_ref = delta_color(g, alg, opt);
+    for (int run = 0; run < 8; ++run) {
+      const auto det = delta_color(g, alg, opt);
+      EXPECT_EQ(det.coloring, det_ref.coloring)
+          << "det trial " << trial << " run " << run;
+      EXPECT_EQ(det.ledger.total(), det_ref.ledger.total())
+          << "det trial " << trial << " run " << run;
+    }
+
+    DeltaColoringOptions fast_opt = opt;
+    fast_opt.mode = ExecutionMode::kFast;
+    for (int run = 0; run < 8; ++run) {
+      const auto fast = delta_color(g, alg, fast_opt);
+      EXPECT_NO_THROW(
+          validate_delta_coloring(g, fast.coloring, g.max_degree()))
+          << "fast trial " << trial << " run " << run;
+      EXPECT_LE(fast.ledger.total(), det_ref.ledger.total())
+          << "fast trial " << trial << " run " << run;
+    }
+  }
+}
 
 // CONGEST byte-counter consistency under fuzz: for random graphs, shard
 // counts and thread counts, the ShardRuntime's wire-bit counters must equal
