@@ -59,7 +59,8 @@ void usage(std::ostream& out) {
          "         [--endpoints host:port,...] [--port-base P]\n"
          "         [--alg all|small|large|det|ps|naive] [--seed S]\n"
          "         [--congest-bits B] [--partition contiguous|cluster]\n"
-         "         [--mode deterministic|fast] [--out FILE]\n"
+         "         [--mode deterministic|fast]\n"
+         "         [--exchange replicated|owner] [--out FILE]\n"
          "  tcp     one process per rank; rank/world/endpoints from flags or\n"
          "          DELTACOL_RANK/DELTACOL_WORLD/DELTACOL_ENDPOINTS env\n"
          "  inproc  single-process reference producing the canonical output\n"
@@ -73,7 +74,15 @@ void usage(std::ostream& out) {
          "          execution mode. CAUTION under tcp: the pipeline runs\n"
          "          replicated per rank, so fast mode keeps the cross-rank\n"
          "          output diff clean only with the (default) single thread\n"
-         "          per rank, where fast coincides with deterministic\n";
+         "          per rank, where fast coincides with deterministic\n"
+         "  --exchange replicated|owner\n"
+         "          how the Luby message-passing step moves envelopes\n"
+         "          between ranks (runtime/execution_mode.h). replicated\n"
+         "          all-gathers full mailbox rows; owner ships only\n"
+         "          cross-shard slots point-to-point and merges rank-locally\n"
+         "          over owned state. Canonical output is bit-identical\n"
+         "          either way (DESIGN.md section 6, owner-compute); only the\n"
+         "          \"# rank=\" wire counters change\n";
 }
 
 std::uint64_t fnv1a(const void* data, std::size_t len) {
@@ -112,6 +121,7 @@ int main(int argc, char** argv) {
   std::int64_t congest_bits = 0;
   PartitionStrategy strategy = PartitionStrategy::kContiguous;
   ExecutionMode mode = ExecutionMode::kDeterministic;
+  ExchangePolicy exchange = ExchangePolicy::kReplicated;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -147,6 +157,9 @@ int main(int argc, char** argv) {
     } else if (a == "--mode") {
       DC_REQUIRE(parse_execution_mode(next("--mode").c_str(), &mode),
                  "--mode must be deterministic or fast");
+    } else if (a == "--exchange") {
+      DC_REQUIRE(parse_exchange_policy(next("--exchange").c_str(), &exchange),
+                 "--exchange must be replicated or owner");
     } else if (a == "--out") {
       out_path = next("--out");
     } else {
@@ -200,7 +213,7 @@ int main(int argc, char** argv) {
         << " m=" << g.num_edges() << " delta=" << g.max_degree()
         << " world=" << S << " seed=" << seed << " congest-bits="
         << congest_bits << " partition=" << partition_strategy_name(strategy)
-        << "\n";
+        << " exchange=" << exchange_policy_name(exchange) << "\n";
 
     // --- 1. per-rank slice + halo -----------------------------------------
     // The canonical table covers every rank (a pure function of the
@@ -239,6 +252,11 @@ int main(int argc, char** argv) {
     } else {
       runtime = std::make_unique<ShardRuntime>(g, part, nullptr);
     }
+    // The exchange policy applies to the message-passing step (3): under
+    // --transport inproc the in-process backend round-trips cross-shard
+    // slots through the codec under the owner policy, so the reference
+    // covers both wire disciplines hermetically.
+    runtime->set_exchange_policy(exchange);
 
     // --- 2. halo adjacency over the wire ----------------------------------
     if (tcp) {
@@ -289,7 +307,8 @@ int main(int argc, char** argv) {
           << runtime->rounds_recorded() << "\n";
       if (tcp) {
         auto& st = static_cast<SocketTransport&>(runtime->transport());
-        out << "# rank=" << cfg.rank << " wire-bytes-sent="
+        out << "# rank=" << cfg.rank << " exchange="
+            << exchange_policy_name(exchange) << " wire-bytes-sent="
             << st.wire_bytes_sent() << " wire-bytes-received="
             << st.wire_bytes_received() << " frames=" << st.frames_sent()
             << " cross-payload-bytes=" << st.cross_payload_bytes() << "\n";
@@ -315,6 +334,7 @@ int main(int argc, char** argv) {
       opt.congest_bits = congest_bits;
       opt.partition = strategy;
       opt.mode = mode;
+      opt.exchange = exchange;  // placement-only here; carried for parity
       const DeltaColoringResult res = delta_color(g, alg, opt);
       validate_delta_coloring(g, res.coloring, res.delta);
       std::vector<int> colors(res.coloring.begin(), res.coloring.end());

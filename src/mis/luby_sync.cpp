@@ -61,20 +61,46 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
   const int n = g.num_vertices();
   ParallelSyncEngine<NodeState, Msg> engine(g, ledger, std::string(phase),
                                             pool, shards, mode);
-  // LOCAL-model nodes own private randomness: seed each node once from the
-  // caller's stream (private coins, not communication) — serially, so the
-  // per-node streams are thread-count independent.
-  for (int v = 0; v < n; ++v) engine.state(v).rng = rng.split();
-
   const VertexPartition part = shards != nullptr
                                    ? shards->partition()
                                    : VertexPartition::contiguous(n, 1);
+  // Owner-compute (DESIGN.md §6): the engine holds owned-only state, so
+  // every sweep below runs over the local shard's owned list and the
+  // termination test / result extraction go through the transport's
+  // deterministic collectives instead of reading global state.
+  const bool owner = shards != nullptr && engine.owner_local_state();
+  const int local = owner ? shards->transport().local_shard() : -1;
+
+  // LOCAL-model nodes own private randomness: seed each node once from the
+  // caller's stream (private coins, not communication) — serially, so the
+  // per-node streams are thread-count independent. Owner-compute ranks
+  // still advance the caller's stream n times (stream identity with every
+  // other shape) but keep only their owned nodes' streams.
+  for (int v = 0; v < n; ++v) {
+    Rng node_rng = rng.split();
+    if (!owner || part.shard_of(v) == local) {
+      engine.state(v).rng = std::move(node_rng);
+    }
+  }
+
+  // Per-vertex sweep helper: all vertices in-process, owned vertices only
+  // under owner-compute (the bodies are v-private either way).
+  const auto sweep = [&](const auto& body) {
+    if (owner) {
+      const GraphView& view = shards->view(local);
+      pooled_for(pool, 0, view.num_owned(),
+                 [&](int i) { body(view.owned_vertex(i)); });
+      return;
+    }
+    sharded_for(pool, part, mode, body);
+  };
+
   int remaining = n;
   while (remaining > 0) {
     // Private coin flips — no communication round. Each node draws from its
     // own Rng: a shard-major parallel-for over the runtime's partition
     // (v-private, so any placement yields the same streams).
-    sharded_for(pool, part, mode, [&](int v) {
+    sweep([&](int v) {
       NodeState& s = engine.state(v);
       if (s.status == NodeStatus::kActive) s.priority = s.rng.next_u64();
     });
@@ -118,12 +144,45 @@ std::vector<bool> luby_mis_message_passing(const Graph& g, Rng& rng,
             }
           }
         });
+    // Termination: count actives. Owner-compute ranks count their owned
+    // actives and fold the counts deterministically across ranks — every
+    // rank leaves the loop on the same iteration, by construction.
+    if (owner) {
+      const GraphView& view = shards->view(local);
+      std::int64_t active = 0;
+      for (int i = 0; i < view.num_owned(); ++i) {
+        if (engine.state(view.owned_vertex(i)).status == NodeStatus::kActive) {
+          ++active;
+        }
+      }
+      remaining =
+          static_cast<int>(shards->transport().allreduce_sum(active));
+      continue;
+    }
     remaining = 0;
     for (int v = 0; v < n; ++v) {
       if (engine.state(v).status == NodeStatus::kActive) ++remaining;
     }
   }
+  // Result extraction. Owner-compute ranks know only their shard's flags:
+  // the deterministic end-of-run gather (Transport::gather_colors)
+  // reassembles the global MIS on every rank, bit-identical to the
+  // replicated shapes.
   std::vector<bool> out(static_cast<std::size_t>(n), false);
+  if (owner) {
+    const GraphView& view = shards->view(local);
+    std::vector<int> flags(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < view.num_owned(); ++i) {
+      const int v = view.owned_vertex(i);
+      flags[static_cast<std::size_t>(v)] =
+          engine.state(v).status == NodeStatus::kInMis ? 1 : 0;
+    }
+    shards->transport().gather_colors(part, flags);
+    for (int v = 0; v < n; ++v) {
+      out[static_cast<std::size_t>(v)] = flags[static_cast<std::size_t>(v)] == 1;
+    }
+    return out;
+  }
   for (int v = 0; v < n; ++v) {
     out[static_cast<std::size_t>(v)] = engine.state(v).status == NodeStatus::kInMis;
   }

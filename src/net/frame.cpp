@@ -1,15 +1,19 @@
 #include "net/frame.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 namespace deltacol {
 
 namespace {
+
+using Deadline = std::chrono::steady_clock::time_point;
 
 [[noreturn]] void io_fail(const char* what) {
   throw WireError(std::string(what) + ": " + std::strerror(errno));
@@ -36,12 +40,39 @@ void write_all(int fd, const std::uint8_t* data, std::size_t n) {
   }
 }
 
+// Blocks until `fd` is readable or `deadline` passes; throws WireError on
+// an expired deadline (the peer went silent mid-frame). A null deadline
+// waits forever — the original behavior.
+void wait_readable(int fd, const Deadline* deadline) {
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline != nullptr) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw WireError("frame read timed out: peer went silent");
+      }
+      wait_ms = static_cast<int>(left.count());
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rv = ::poll(&p, 1, wait_ms);
+    if (rv > 0) return;  // readable (or HUP/ERR — the read will surface it)
+    if (rv < 0 && errno != EINTR) io_fail("frame poll failed");
+    // rv == 0 (poll timeout) loops back to re-check the deadline and throw.
+  }
+}
+
 // Returns bytes read into [data, data+n); stops early only on EOF. Loops
 // over short reads and EINTR — the segmentation a stream socket delivers is
-// never visible above this function.
-std::size_t read_upto(int fd, std::uint8_t* data, std::size_t n) {
+// never visible above this function. A non-null `deadline` bounds every
+// wait (see wait_readable).
+std::size_t read_upto(int fd, std::uint8_t* data, std::size_t n,
+                      const Deadline* deadline) {
   std::size_t got = 0;
   while (got < n) {
+    if (deadline != nullptr) wait_readable(fd, deadline);
     const std::ptrdiff_t r = ::read(fd, data + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -66,9 +97,16 @@ void write_frame(int fd, const WireBuf& payload) {
   write_all(fd, payload.data(), payload.size());
 }
 
-bool try_read_frame(int fd, WireBuf& out) {
+bool try_read_frame(int fd, WireBuf& out, int timeout_ms) {
+  Deadline deadline_storage;
+  const Deadline* deadline = nullptr;
+  if (timeout_ms > 0) {
+    deadline_storage = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
   std::uint8_t prefix[4];
-  const std::size_t got = read_upto(fd, prefix, 4);
+  const std::size_t got = read_upto(fd, prefix, 4, deadline);
   if (got == 0) return false;  // clean EOF at a frame boundary
   if (got < 4) throw WireError("torn frame: EOF inside the length prefix");
   const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
@@ -80,16 +118,16 @@ bool try_read_frame(int fd, WireBuf& out) {
                     " exceeds kMaxFrameBytes — corrupted stream");
   }
   out.resize(len);
-  if (read_upto(fd, out.data(), len) < len) {
+  if (read_upto(fd, out.data(), len, deadline) < len) {
     throw WireError("torn frame: EOF inside a " + std::to_string(len) +
                     "-byte payload");
   }
   return true;
 }
 
-WireBuf read_frame(int fd) {
+WireBuf read_frame(int fd, int timeout_ms) {
   WireBuf out;
-  if (!try_read_frame(fd, out)) {
+  if (!try_read_frame(fd, out, timeout_ms)) {
     throw WireError("unexpected EOF: peer closed before sending a frame");
   }
   return out;

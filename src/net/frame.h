@@ -38,10 +38,17 @@ void write_frame(int fd, const WireBuf& payload);
 /// WireError on a torn frame (EOF mid-frame), an oversized length prefix, or
 /// any I/O error — including EOF at a frame boundary (use try_read_frame
 /// where a clean shutdown is expected).
-WireBuf read_frame(int fd);
+///
+/// `timeout_ms > 0` bounds the WHOLE frame read with a poll(2)-guarded
+/// deadline: a peer that stops sending mid-round surfaces as a WireError
+/// ("timed out") instead of hanging this rank forever — the multi-machine
+/// hardening knob (DELTACOL_NET_TIMEOUT_MS on SocketTransport). `<= 0`
+/// keeps the original block-forever behavior.
+WireBuf read_frame(int fd, int timeout_ms = 0);
 
 /// Like read_frame, but a clean EOF at a frame boundary returns false
-/// instead of throwing. EOF inside a frame still throws (torn frame).
-bool try_read_frame(int fd, WireBuf& out);
+/// instead of throwing. EOF inside a frame still throws (torn frame), and
+/// so does an expired `timeout_ms` deadline.
+bool try_read_frame(int fd, WireBuf& out, int timeout_ms = 0);
 
 }  // namespace deltacol

@@ -4,9 +4,11 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -26,6 +28,110 @@ namespace {
 /// per slot u32 length + bytes. The receiver validates all three header
 /// fields before accepting a single slot.
 constexpr std::uint32_t kHelloMagic = 0xDC01u;
+
+/// Collective tags for the owner-routed path. Every collective consumes one
+/// tick of the SAME sequence counter the all-gather uses, and every frame
+/// leads with its tag — so a rank that mixes policies or collectives out of
+/// step decodes a wrong tag/seq and fails loudly instead of merging a stale
+/// or foreign frame. The replicated all-gather frame layout above is
+/// untouched (its closed-form byte accounting is pinned by bench_e17).
+constexpr std::uint32_t kOwnedMagic = 0xDC0Eu;   // exchange_owned
+constexpr std::uint32_t kReduceMagic = 0xDC0Fu;  // allreduce_{sum,max}
+constexpr std::uint32_t kGatherMagic = 0xDC10u;  // gather_colors
+
+/// DELTACOL_NET_TIMEOUT_MS (read once per transport, at construction):
+/// <= 0 / unset = wait forever (the original behavior).
+int net_timeout_from_env() {
+  const char* s = std::getenv("DELTACOL_NET_TIMEOUT_MS");
+  if (s == nullptr) return 0;
+  const int ms = std::atoi(s);
+  return ms > 0 ? ms : 0;
+}
+
+/// Owned-exchange frame payload: tag, u32 sender, u32 seq, u32 destination
+/// rank, u32 world, world×u64 posted-envelope counts (the sender's mailbox
+/// row), world×u64 posted wire bits, u32 slot length + the encoded
+/// (sender, dest) slot. The tally rows ride along so every rank reassembles
+/// the full S×S counters without a second collective.
+constexpr std::int64_t owned_frame_header_bytes(int world) {
+  return 5 * 4 + static_cast<std::int64_t>(world) * 16 + 4;
+}
+
+WireBuf encode_owned_frame(int sender, std::uint32_t seq, int dest, int world,
+                           const std::vector<std::int64_t>& row_counts,
+                           const std::vector<std::int64_t>& row_bits,
+                           const WireBuf& slot) {
+  WireWriter w;
+  w.put_u32(kOwnedMagic);
+  w.put_u32(static_cast<std::uint32_t>(sender));
+  w.put_u32(seq);
+  w.put_u32(static_cast<std::uint32_t>(dest));
+  w.put_u32(static_cast<std::uint32_t>(world));
+  for (std::int64_t c : row_counts) w.put_u64(static_cast<std::uint64_t>(c));
+  for (std::int64_t b : row_bits) w.put_u64(static_cast<std::uint64_t>(b));
+  w.put_u32(static_cast<std::uint32_t>(slot.size()));
+  for (std::uint8_t b : slot) w.put_u8(b);
+  return w.take();
+}
+
+struct OwnedFrame {
+  std::vector<std::int64_t> row_counts;
+  std::vector<std::int64_t> row_bits;
+  WireBuf slot;
+};
+
+OwnedFrame decode_owned_frame(const WireBuf& payload, int expect_sender,
+                              std::uint32_t expect_seq, int expect_dest,
+                              int expect_world) {
+  WireReader r(payload);
+  const std::uint32_t magic = r.get_u32();
+  if (magic != kOwnedMagic) {
+    throw WireError("owner-routed frame has tag " + std::to_string(magic) +
+                    " — peer rank " + std::to_string(expect_sender) +
+                    " is running a different exchange policy or collective");
+  }
+  const std::uint32_t sender = r.get_u32();
+  const std::uint32_t seq = r.get_u32();
+  const std::uint32_t dest = r.get_u32();
+  const std::uint32_t world = r.get_u32();
+  if (sender != static_cast<std::uint32_t>(expect_sender)) {
+    throw WireError("owner-routed frame from rank " + std::to_string(sender) +
+                    " arrived on the connection to rank " +
+                    std::to_string(expect_sender));
+  }
+  if (seq != expect_seq) {
+    throw WireError("rank " + std::to_string(expect_sender) +
+                    " is out of step: owner-routed frame seq " +
+                    std::to_string(seq) + " != expected " +
+                    std::to_string(expect_seq));
+  }
+  if (dest != static_cast<std::uint32_t>(expect_dest)) {
+    throw WireError("owner-routed frame addressed to rank " +
+                    std::to_string(dest) + " delivered to rank " +
+                    std::to_string(expect_dest));
+  }
+  if (world != static_cast<std::uint32_t>(expect_world)) {
+    throw WireError("owner-routed frame carries a row for a world of " +
+                    std::to_string(world) + ", expected " +
+                    std::to_string(expect_world));
+  }
+  OwnedFrame out;
+  out.row_counts.resize(world);
+  out.row_bits.resize(world);
+  for (std::uint32_t d = 0; d < world; ++d) {
+    out.row_counts[d] = static_cast<std::int64_t>(r.get_u64());
+  }
+  for (std::uint32_t d = 0; d < world; ++d) {
+    out.row_bits[d] = static_cast<std::int64_t>(r.get_u64());
+  }
+  const std::uint32_t len = r.get_u32();
+  if (len != r.remaining()) {
+    throw WireError("owner-routed frame slot length disagrees with the frame");
+  }
+  out.slot.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i) out.slot[i] = r.get_u8();
+  return out;
+}
 
 WireBuf encode_exchange_frame(int sender, std::uint32_t seq,
                               const std::vector<WireBuf>& row) {
@@ -206,18 +312,23 @@ void NetConfig::validate() const {
 }
 
 SocketTransport::SocketTransport(const NetConfig& cfg, int connect_timeout_ms)
-    : rank_(cfg.rank), world_(cfg.world) {
+    : rank_(cfg.rank), world_(cfg.world), net_timeout_ms_(net_timeout_from_env()) {
   cfg.validate();
   fds_.assign(static_cast<std::size_t>(world_), -1);
   if (world_ == 1) return;  // a lonely rank needs no mesh
 
+  // DELTACOL_NET_TIMEOUT_MS overrides the connect budget and additionally
+  // bounds the accept wait — a rank whose peer never dials fails loudly
+  // instead of sitting in accept(2) forever.
+  const int budget =
+      net_timeout_ms_ > 0 ? net_timeout_ms_ : connect_timeout_ms;
   const int listen_fd = listen_on(cfg.endpoints[static_cast<std::size_t>(rank_)].second,
                                   world_);
   try {
     // Connect to every lower rank; the hello frame tells them who we are.
     for (int r = 0; r < rank_; ++r) {
       const auto& [host, port] = cfg.endpoints[static_cast<std::size_t>(r)];
-      const int fd = connect_with_retry(host, port, connect_timeout_ms);
+      const int fd = connect_with_retry(host, port, budget);
       WireWriter hello;
       hello.put_u32(kHelloMagic);
       hello.put_u32(static_cast<std::uint32_t>(rank_));
@@ -226,10 +337,26 @@ SocketTransport::SocketTransport(const NetConfig& cfg, int connect_timeout_ms)
     }
     // Accept from every higher rank; their hello frame tells us who they are.
     for (int pending = world_ - 1 - rank_; pending > 0; --pending) {
+      if (net_timeout_ms_ > 0) {
+        pollfd p{};
+        p.fd = listen_fd;
+        p.events = POLLIN;
+        int rv;
+        do {
+          rv = ::poll(&p, 1, net_timeout_ms_);
+        } while (rv < 0 && errno == EINTR);
+        if (rv == 0) {
+          throw WireError(
+              "rendezvous: rank " + std::to_string(rank_) + " timed out after " +
+              std::to_string(net_timeout_ms_) + " ms waiting for " +
+              std::to_string(pending) + " higher rank(s) to dial");
+        }
+        if (rv < 0) throw WireError("rendezvous: poll on listener failed");
+      }
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) throw WireError("rendezvous: accept failed");
       set_nodelay(fd);
-      const WireBuf hello = read_frame(fd);
+      const WireBuf hello = read_frame(fd, net_timeout_ms_);
       WireReader r(hello);
       const std::uint32_t magic = r.get_u32();
       const std::uint32_t peer = r.get_u32();
@@ -251,7 +378,10 @@ SocketTransport::SocketTransport(const NetConfig& cfg, int connect_timeout_ms)
 }
 
 SocketTransport::SocketTransport(int rank, int world, std::vector<int> peer_fds)
-    : rank_(rank), world_(world), fds_(std::move(peer_fds)) {
+    : rank_(rank),
+      world_(world),
+      fds_(std::move(peer_fds)),
+      net_timeout_ms_(net_timeout_from_env()) {
   DC_REQUIRE(world_ >= 1, "world must be positive");
   DC_REQUIRE(rank_ >= 0 && rank_ < world_, "rank out of range for world");
   DC_REQUIRE(static_cast<int>(fds_.size()) == world_,
@@ -275,6 +405,16 @@ void SocketTransport::close_all() {
 
 void SocketTransport::run_shards(const std::function<void(int)>& body) {
   body(rank_);
+}
+
+std::vector<std::uint8_t> SocketTransport::read_frame_from(int peer) {
+  try {
+    return read_frame(fds_[static_cast<std::size_t>(peer)], net_timeout_ms_);
+  } catch (const WireError& e) {
+    throw WireError("rank " + std::to_string(rank_) +
+                    ": reading from rank " + std::to_string(peer) + ": " +
+                    e.what());
+  }
 }
 
 void SocketTransport::send_row_frames(
@@ -316,7 +456,7 @@ SocketTransport::all_gather_rows(
   try {
     for (int r = 0; r < world_; ++r) {
       if (r == rank_) continue;
-      const WireBuf frame = read_frame(fds_[static_cast<std::size_t>(r)]);
+      const WireBuf frame = read_frame_from(r);
       bytes_received_ +=
           static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
       rows[static_cast<std::size_t>(r)] =
@@ -332,6 +472,248 @@ SocketTransport::all_gather_rows(
   rows[static_cast<std::size_t>(rank_)] = std::move(local_row);
   ++seq_;
   return rows;
+}
+
+Transport::OwnedExchange SocketTransport::exchange_owned(
+    std::vector<std::vector<std::uint8_t>> to_peers,
+    std::vector<std::int64_t> row_counts, std::vector<std::int64_t> row_bits) {
+  DC_REQUIRE(static_cast<int>(to_peers.size()) == world_,
+             "owner-routed exchange needs one slot per destination rank");
+  DC_REQUIRE(static_cast<int>(row_counts.size()) == world_ &&
+                 static_cast<int>(row_bits.size()) == world_,
+             "owner-routed exchange needs one tally per destination rank");
+  DC_REQUIRE(to_peers[static_cast<std::size_t>(rank_)].empty(),
+             "owner-routed exchange: the local slot never crosses the wire");
+
+  OwnedExchange out;
+  out.slots.resize(static_cast<std::size_t>(world_));
+  out.slot_counts.assign(
+      static_cast<std::size_t>(world_) * static_cast<std::size_t>(world_), 0);
+  out.slot_bits.assign(out.slot_counts.size(), 0);
+  for (int d = 0; d < world_; ++d) {
+    const std::size_t idx = static_cast<std::size_t>(rank_) *
+                                static_cast<std::size_t>(world_) +
+                            static_cast<std::size_t>(d);
+    out.slot_counts[idx] = row_counts[static_cast<std::size_t>(d)];
+    out.slot_bits[idx] = row_bits[static_cast<std::size_t>(d)];
+  }
+
+  // Encode every frame up front on the calling thread (counters are not
+  // thread-safe), asserting per frame that the physical slot payload is
+  // exactly the bytes the cross_payload_bytes counter records — under this
+  // policy the counter IS the measured wire payload, not a prediction.
+  const std::int64_t header = owned_frame_header_bytes(world_);
+  std::vector<WireBuf> frames(static_cast<std::size_t>(world_));
+  for (int d = 0; d < world_; ++d) {
+    if (d == rank_) continue;
+    const WireBuf& slot = to_peers[static_cast<std::size_t>(d)];
+    frames[static_cast<std::size_t>(d)] =
+        encode_owned_frame(rank_, seq_, d, world_, row_counts, row_bits, slot);
+    DC_ENSURE(static_cast<std::int64_t>(
+                  frames[static_cast<std::size_t>(d)].size()) ==
+                  header + static_cast<std::int64_t>(slot.size()),
+              "owner-routed frame size disagrees with its slot payload");
+    cross_payload_bytes_ += static_cast<std::int64_t>(slot.size());
+    bytes_sent_ += static_cast<std::int64_t>(
+                       frames[static_cast<std::size_t>(d)].size()) +
+                   kFramePrefixBytes;
+    ++frames_sent_;
+  }
+
+  // One writer thread per peer pushes that peer's frame while this thread
+  // reads the peers in rank order — everyone sends and receives
+  // concurrently, so no pair of ranks can deadlock on full TCP buffers, and
+  // slow peers overlap instead of serializing.
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<std::size_t>(world_ - 1));
+  std::vector<std::exception_ptr> write_errors(
+      static_cast<std::size_t>(world_));
+  for (int d = 0; d < world_; ++d) {
+    if (d == rank_) continue;
+    writers.emplace_back([this, d, &frames, &write_errors] {
+      try {
+        write_frame(fds_[static_cast<std::size_t>(d)],
+                    frames[static_cast<std::size_t>(d)]);
+      } catch (...) {
+        write_errors[static_cast<std::size_t>(d)] = std::current_exception();
+      }
+    });
+  }
+  std::exception_ptr read_error;
+  try {
+    for (int s = 0; s < world_; ++s) {
+      if (s == rank_) continue;
+      const WireBuf frame = read_frame_from(s);
+      bytes_received_ +=
+          static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
+      OwnedFrame decoded = decode_owned_frame(frame, s, seq_, rank_, world_);
+      for (int d = 0; d < world_; ++d) {
+        const std::size_t idx = static_cast<std::size_t>(s) *
+                                    static_cast<std::size_t>(world_) +
+                                static_cast<std::size_t>(d);
+        out.slot_counts[idx] = decoded.row_counts[static_cast<std::size_t>(d)];
+        out.slot_bits[idx] = decoded.row_bits[static_cast<std::size_t>(d)];
+      }
+      out.slots[static_cast<std::size_t>(s)] = std::move(decoded.slot);
+    }
+  } catch (...) {
+    read_error = std::current_exception();
+  }
+  for (std::thread& w : writers) w.join();
+  if (read_error) std::rethrow_exception(read_error);
+  for (const std::exception_ptr& e : write_errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  ++seq_;
+  return out;
+}
+
+// Small all-to-all of one u64 per rank, folded in ascending rank order
+// including our own — every rank computes the identical result. Shares the
+// sequence counter with the exchanges so collective drift is caught.
+std::int64_t SocketTransport::allreduce_sum(std::int64_t value) {
+  std::int64_t acc = 0;
+  const auto fold = [&acc](std::int64_t x) { acc += x; };
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) {
+      fold(value);
+      continue;
+    }
+    fold(exchange_reduce_value(r, value));
+  }
+  ++seq_;
+  return acc;
+}
+
+std::int64_t SocketTransport::allreduce_max(std::int64_t value) {
+  std::int64_t acc = value;
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    acc = std::max(acc, exchange_reduce_value(r, value));
+  }
+  ++seq_;
+  return acc;
+}
+
+void SocketTransport::gather_colors(const VertexPartition& part,
+                                    std::vector<int>& values) {
+  DC_REQUIRE(part.num_shards() == world_,
+             "gather_colors: partition shard count disagrees with the world");
+  DC_REQUIRE(static_cast<int>(values.size()) == part.num_vertices(),
+             "gather_colors: value array does not span the partition");
+  if (world_ == 1) return;
+
+  // Frame: tag, sender, seq, u32 owned count, count×u32 values in owned
+  // order (ascending original id — graph/partition.h). Identical frame to
+  // every peer, so one writer thread suffices (the all-gather pattern).
+  WireWriter w;
+  w.put_u32(kGatherMagic);
+  w.put_u32(static_cast<std::uint32_t>(rank_));
+  w.put_u32(seq_);
+  const int owned = part.size(rank_);
+  w.put_u32(static_cast<std::uint32_t>(owned));
+  for (int i = 0; i < owned; ++i) {
+    w.put_u32(static_cast<std::uint32_t>(
+        values[static_cast<std::size_t>(part.owned_vertex(rank_, i))]));
+  }
+  const WireBuf frame = w.take();
+  for (int r = 0; r < world_; ++r) {
+    if (r == rank_) continue;
+    bytes_sent_ += static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
+    ++frames_sent_;
+  }
+  std::exception_ptr write_error;
+  std::thread writer([&] {
+    try {
+      for (int r = 0; r < world_; ++r) {
+        if (r == rank_) continue;
+        write_frame(fds_[static_cast<std::size_t>(r)], frame);
+      }
+    } catch (...) {
+      write_error = std::current_exception();
+    }
+  });
+  std::exception_ptr read_error;
+  try {
+    for (int s = 0; s < world_; ++s) {
+      if (s == rank_) continue;
+      const WireBuf in = read_frame_from(s);
+      bytes_received_ +=
+          static_cast<std::int64_t>(in.size()) + kFramePrefixBytes;
+      WireReader r(in);
+      const std::uint32_t magic = r.get_u32();
+      const std::uint32_t sender = r.get_u32();
+      const std::uint32_t seq = r.get_u32();
+      const std::uint32_t count = r.get_u32();
+      if (magic != kGatherMagic ||
+          sender != static_cast<std::uint32_t>(s) || seq != seq_ ||
+          count != static_cast<std::uint32_t>(part.size(s))) {
+        throw WireError("gather_colors: malformed frame from rank " +
+                        std::to_string(s));
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        values[static_cast<std::size_t>(
+            part.owned_vertex(s, static_cast<int>(i)))] =
+            static_cast<int>(r.get_u32());
+      }
+      if (!r.done()) {
+        throw WireError("gather_colors: trailing bytes from rank " +
+                        std::to_string(s));
+      }
+    }
+  } catch (...) {
+    read_error = std::current_exception();
+  }
+  writer.join();
+  if (read_error) std::rethrow_exception(read_error);
+  if (write_error) std::rethrow_exception(write_error);
+  ++seq_;
+}
+
+// One round of the reduce all-to-all against a single peer: send our value,
+// read theirs (both 24-byte frames; the deterministic folds above never
+// depend on arrival order because every pairwise exchange is synchronous).
+std::int64_t SocketTransport::exchange_reduce_value(int peer,
+                                                    std::int64_t value) {
+  WireWriter w;
+  w.put_u32(kReduceMagic);
+  w.put_u32(static_cast<std::uint32_t>(rank_));
+  w.put_u32(seq_);
+  w.put_u64(static_cast<std::uint64_t>(value));
+  const WireBuf frame = w.take();
+  bytes_sent_ += static_cast<std::int64_t>(frame.size()) + kFramePrefixBytes;
+  ++frames_sent_;
+  std::exception_ptr write_error;
+  std::thread writer([&] {
+    try {
+      write_frame(fds_[static_cast<std::size_t>(peer)], frame);
+    } catch (...) {
+      write_error = std::current_exception();
+    }
+  });
+  std::int64_t peer_value = 0;
+  std::exception_ptr read_error;
+  try {
+    const WireBuf in = read_frame_from(peer);
+    bytes_received_ += static_cast<std::int64_t>(in.size()) + kFramePrefixBytes;
+    WireReader r(in);
+    const std::uint32_t magic = r.get_u32();
+    const std::uint32_t sender = r.get_u32();
+    const std::uint32_t seq = r.get_u32();
+    peer_value = static_cast<std::int64_t>(r.get_u64());
+    if (magic != kReduceMagic ||
+        sender != static_cast<std::uint32_t>(peer) || seq != seq_ ||
+        !r.done()) {
+      throw WireError("allreduce: malformed frame from rank " +
+                      std::to_string(peer));
+    }
+  } catch (...) {
+    read_error = std::current_exception();
+  }
+  writer.join();
+  if (read_error) std::rethrow_exception(read_error);
+  if (write_error) std::rethrow_exception(write_error);
+  return peer_value;
 }
 
 void SocketTransport::barrier() {

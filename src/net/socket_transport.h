@@ -13,6 +13,25 @@
 ///     peer's row arrived — the inter-round barrier of a distributed run.
 ///     Frames carry a sequence number, so a rank that drifted a round out of
 ///     step fails loudly instead of merging stale slots.
+///   * `exchange_owned()` is the owner-routed alternative
+///     (ExchangePolicy::kOwnerRouted, runtime/execution_mode.h): one
+///     point-to-point frame per peer carrying ONLY the slot addressed to
+///     that peer (plus this rank's per-slot tally row, so every rank
+///     reassembles the full S×S counters), written by per-peer writer
+///     threads while this thread reads the peers in rank order. The same
+///     sequence counter as the all-gather guards collective drift, so a
+///     rank that mixes the two policies mid-run fails loudly too.
+///   * `allreduce_sum()` / `allreduce_max()` / `gather_colors()` are the
+///     small deterministic collectives an owner-compute run needs for
+///     termination tests, the CONGEST max fold, and the end-of-run result
+///     gather.
+///
+/// **Hardening** (multi-machine runs): DELTACOL_NET_TIMEOUT_MS, read at
+/// construction, bounds the rendezvous (connect retry budget AND the accept
+/// wait for peers that never dial) and every per-frame read — a silent or
+/// absent peer surfaces as a WireError naming the peer rank instead of
+/// hanging this rank forever. Unset or <= 0 keeps the original behavior
+/// (20 s connect budget, block-forever reads).
 ///
 /// **Rendezvous.** Every rank knows the full host:port list (`NetConfig`,
 /// parsed from flags or the DELTACOL_RANK / DELTACOL_WORLD /
@@ -97,6 +116,27 @@ class SocketTransport final : public Transport {
   std::vector<std::vector<std::vector<std::uint8_t>>> all_gather_rows(
       std::vector<std::vector<std::uint8_t>> local_row) override;
 
+  /// Owner-routed point-to-point exchange (see the file comment and the
+  /// Transport contract). `to_peers[rank()]` must be empty — the local slot
+  /// never crosses the wire — and the returned slots[rank()] is empty for
+  /// the same reason.
+  OwnedExchange exchange_owned(std::vector<std::vector<std::uint8_t>> to_peers,
+                               std::vector<std::int64_t> row_counts,
+                               std::vector<std::int64_t> row_bits) override;
+
+  /// Deterministic sum over every rank's value (exchanged all-to-all,
+  /// folded in ascending rank order — identical on every rank).
+  std::int64_t allreduce_sum(std::int64_t value) override;
+
+  /// Deterministic max over every rank's value.
+  std::int64_t allreduce_max(std::int64_t value) override;
+
+  /// Gathers the owned entries of `values` from every rank (per `part`) so
+  /// the whole array is globally agreed on return — the end-of-run result
+  /// reassembly of an owner-routed run.
+  void gather_colors(const VertexPartition& part,
+                     std::vector<int>& values) override;
+
   /// Blocks until every rank reached this barrier (an all-gather of empty
   /// rows). Used by launchers to fence phases that are replicated rather
   /// than exchanged.
@@ -112,16 +152,26 @@ class SocketTransport final : public Transport {
   std::int64_t wire_bytes_received() const { return bytes_received_; }
   std::int64_t frames_sent() const { return frames_sent_; }
 
-  /// Encoded payload bytes addressed to *other* ranks across all exchanges —
-  /// what an owner-routed (non-replicated) exchange would put on the wire.
-  /// The replicated merge ships the full row to every peer, so
-  /// wire_bytes_sent is partition-invariant; this counter is the traffic a
-  /// locality partition (graph/renumber.h) actually removes, and the number
-  /// bench_e18 and the launchers report as the distributed win.
+  /// Encoded payload bytes addressed to *other* ranks across all exchanges.
+  /// Under the replicated all-gather this is a *prediction*: the full row
+  /// ships to every peer, so wire_bytes_sent is partition-invariant and
+  /// this counter is what an owner-routed exchange *would* put on the wire
+  /// (the number bench_e18 reports as the locality win). Under
+  /// exchange_owned the same counter becomes the *measured* physical slot
+  /// payload — each increment is bytes actually framed to exactly one peer
+  /// (exchange_owned asserts the equality per frame) — so prediction and
+  /// realization are the one counter, comparable across policies
+  /// (bench_e20).
   std::int64_t cross_payload_bytes() const { return cross_payload_bytes_; }
 
  private:
   void send_row_frames(const std::vector<std::vector<std::uint8_t>>& row);
+  /// read_frame with this transport's timeout, rethrowing WireError with
+  /// the peer rank named (the hardening contract).
+  std::vector<std::uint8_t> read_frame_from(int peer);
+  /// One pairwise leg of an allreduce: send our value to `peer`, return
+  /// theirs (synchronous, sequence-validated).
+  std::int64_t exchange_reduce_value(int peer, std::int64_t value);
   void close_all();
 
   int rank_ = -1;
@@ -129,6 +179,7 @@ class SocketTransport final : public Transport {
   std::vector<int> fds_;  // per peer rank, -1 at rank_
   std::uint32_t seq_ = 0;
   int exchanges_ = 0;
+  int net_timeout_ms_ = 0;  // DELTACOL_NET_TIMEOUT_MS; 0 = wait forever
   std::int64_t bytes_sent_ = 0;
   std::int64_t bytes_received_ = 0;
   std::int64_t frames_sent_ = 0;

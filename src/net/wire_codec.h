@@ -29,6 +29,12 @@
 /// outside {0, 1}, or a vector length that cannot fit the remaining bytes
 /// throws `WireError` — a torn or corrupted stream never decodes to a
 /// plausible-looking message.
+///
+/// Both wire disciplines share this codec unchanged: the replicated
+/// all-gather serializes a shard's full mailbox row, the owner-routed
+/// exchange (`Mailbox::encode_owned_row` → `Transport::exchange_owned`)
+/// serializes only the off-diagonal slots of that row — same
+/// `encode_slot`/`decode_slot` framing per slot, just fewer slots shipped.
 #pragma once
 
 #include <cstdint>

@@ -11,6 +11,20 @@ std::vector<std::vector<std::vector<std::uint8_t>>> Transport::all_gather_rows(
   return {};
 }
 
+Transport::OwnedExchange Transport::exchange_owned(
+    std::vector<std::vector<std::uint8_t>> to_peers,
+    std::vector<std::int64_t> row_counts, std::vector<std::int64_t> row_bits) {
+  (void)to_peers;
+  (void)row_counts;
+  (void)row_bits;
+  DC_REQUIRE(false,
+             "exchange_owned: this transport has no wire — the owner-routed "
+             "byte exchange is only meaningful when local_shard() >= 0 "
+             "(in-process owner-routed rounds round-trip slots through the "
+             "codec in the engine instead)");
+  return {};
+}
+
 InProcessTransport::InProcessTransport(int num_shards, ThreadPool* pool)
     : num_shards_(num_shards), pool_(pool) {
   DC_REQUIRE(num_shards >= 1, "transport needs at least one shard");

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "graph/partition.h"
+#include "net/wire_codec.h"
 #include "runtime/execution_mode.h"
 #include "runtime/message_size.h"
 #include "runtime/thread_pool.h"
@@ -98,6 +99,57 @@ class Transport {
   /// the in-process default has no wire and throws.
   virtual std::vector<std::vector<std::vector<std::uint8_t>>> all_gather_rows(
       std::vector<std::vector<std::uint8_t>> local_row);
+
+  /// Result of an owner-routed exchange (ExchangePolicy::kOwnerRouted).
+  /// `slots[s]` is the encoded (s, local_shard) slot shipped by rank s
+  /// (empty at s == local_shard — the local slot never crossed the wire);
+  /// `slot_counts` / `slot_bits` are the reassembled full S×S row-major
+  /// per-slot tallies (every rank's posted row, piggybacked on the frames),
+  /// so ShardRuntime::record_round sees the same counters the replicated
+  /// and in-process runs see.
+  struct OwnedExchange {
+    std::vector<std::vector<std::uint8_t>> slots;
+    std::vector<std::int64_t> slot_counts;
+    std::vector<std::int64_t> slot_bits;
+  };
+
+  /// Owner-routed distributed exchange: ships `to_peers[d]` — the encoded
+  /// (local_shard, d) slot — point-to-point to rank d only (to_peers at the
+  /// local index must be empty: local envelopes stay in the mailbox,
+  /// untouched by the codec), together with this rank's posted per-slot
+  /// tallies (`row_counts` / `row_bits`, S entries each), and returns the
+  /// slots the peers addressed to this rank plus the reassembled global
+  /// tallies. Blocks until every peer's frame arrived (the inter-round
+  /// barrier). Only meaningful when local_shard() >= 0; the in-process
+  /// default has no wire and throws — in-process owner-routed rounds
+  /// round-trip slots through the codec locally instead
+  /// (runtime/parallel_sync_engine.h).
+  virtual OwnedExchange exchange_owned(
+      std::vector<std::vector<std::uint8_t>> to_peers,
+      std::vector<std::int64_t> row_counts, std::vector<std::int64_t> row_bits);
+
+  /// Deterministic cross-rank sum of one i64 per rank (folded in ascending
+  /// rank order). The in-process default is the identity: every shard is
+  /// local, so the caller's value already is the global value. Owner-routed
+  /// runs use this for termination tests over owned-only state.
+  virtual std::int64_t allreduce_sum(std::int64_t value) { return value; }
+
+  /// Deterministic cross-rank max of one i64 per rank. In-process identity,
+  /// like allreduce_sum. Owner-routed runs use this for the CONGEST
+  /// heaviest-edge fold, which is order-free by construction.
+  virtual std::int64_t allreduce_max(std::int64_t value) { return value; }
+
+  /// Reassembles a globally indexed per-vertex array on every rank: each
+  /// rank contributes `values[v]` for the vertices its shard owns under
+  /// `part`, and on return every entry is globally agreed — the
+  /// deterministic end-of-run gather of an owner-routed run (colorings, MIS
+  /// flags, any per-vertex int). The in-process default is a no-op: every
+  /// vertex is already local.
+  virtual void gather_colors(const VertexPartition& part,
+                             std::vector<int>& values) {
+    (void)part;
+    (void)values;
+  }
 };
 
 /// The shared-memory backend: S shards fan out as indexed chunks on the
@@ -138,6 +190,25 @@ class ShardRuntime {
   }
   Transport& transport() const { return *transport_; }
   ThreadPool* pool() const { return pool_; }
+
+  /// How engines attached to this runtime move envelopes between shards
+  /// (runtime/execution_mode.h). kReplicated (the default) keeps the
+  /// full-row all-gather + replicated merge; kOwnerRouted ships only
+  /// cross-shard slots point-to-point and merges rank-locally. Results are
+  /// bit-identical either way (DESIGN.md §6, "Owner-compute"); set before
+  /// attaching engines.
+  ExchangePolicy exchange_policy() const { return exchange_policy_; }
+  void set_exchange_policy(ExchangePolicy policy) { exchange_policy_ = policy; }
+
+  /// True when engines should run the rank-local owner-compute round: the
+  /// owner-routed policy over a distributed transport. In-process
+  /// owner-routed runs keep full state (there is no wire to save) but
+  /// round-trip cross slots through the codec so the policy is covered
+  /// hermetically.
+  bool owner_routed_distributed() const {
+    return exchange_policy_ == ExchangePolicy::kOwnerRouted &&
+           transport_->local_shard() >= 0;
+  }
 
   // --- message-volume accounting (per-round CONGEST metrics, bench_e15 /
   // --- bench_e16): cumulative per-(src, dst) envelope counts and wire bits.
@@ -183,6 +254,7 @@ class ShardRuntime {
   std::vector<GraphView> views_;
   std::unique_ptr<Transport> transport_;
   ThreadPool* pool_;
+  ExchangePolicy exchange_policy_ = ExchangePolicy::kReplicated;
   std::vector<std::int64_t> sent_;       // row-major (src, dst), cumulative
   std::vector<std::int64_t> sent_bits_;  // same shape, MessageSize bits
   std::int64_t rounds_ = 0;
@@ -248,6 +320,30 @@ class Mailbox {
     slots_[idx] = std::move(envelopes);
   }
 
+  /// Serializes the off-diagonal slots of `src_shard`'s row for an
+  /// owner-routed exchange (Transport::exchange_owned): entry d is the
+  /// encoded (src_shard, d) slot for d != src_shard, and the entry at
+  /// src_shard stays EMPTY — the local slot's envelopes are left in place,
+  /// never touching the codec (that is the owner-compute invariant a
+  /// distributed transport must not break; see DESIGN.md §6). The encoded
+  /// slots are copies: the off-diagonal envelopes stay staged too, so a
+  /// transport failure mid-exchange never loses the round. At most one
+  /// owner-routed exchange per round: a second call before clear() is a
+  /// double-exchange transport bug and throws.
+  std::vector<std::vector<std::uint8_t>> encode_owned_row(int src_shard) {
+    DC_REQUIRE(!owner_exchanged_,
+               "owner-routed exchange ran twice in one round "
+               "(encode_owned_row before clear())");
+    owner_exchanged_ = true;
+    std::vector<std::vector<std::uint8_t>> row(
+        static_cast<std::size_t>(num_shards_));
+    for (int d = 0; d < num_shards_; ++d) {
+      if (d == src_shard) continue;  // the local slot never crosses the wire
+      row[static_cast<std::size_t>(d)] = encode_slot<Msg>(slot(src_shard, d));
+    }
+    return row;
+  }
+
   /// Moves one slot's envelopes out (the drain side of the receive barrier),
   /// leaving the slot empty. The round's tallies (slot_counts / slot_bits)
   /// are unaffected — they describe what was staged this round, not what is
@@ -277,13 +373,14 @@ class Mailbox {
   /// companion of slot_counts(), accumulated at post/fill time).
   const std::vector<std::int64_t>& slot_bits() const { return slot_bits_; }
 
-  /// Empties every slot, zeroes the tallies and re-arms the fill-once
-  /// guards, keeping capacity (called at round start).
+  /// Empties every slot, zeroes the tallies and re-arms the fill-once and
+  /// exchange-once guards, keeping capacity (called at round start).
   void clear() {
     for (auto& s : slots_) s.clear();
     for (auto& c : slot_counts_) c = 0;
     for (auto& b : slot_bits_) b = 0;
     for (auto& f : filled_) f = 0;
+    owner_exchanged_ = false;
   }
 
  private:
@@ -299,6 +396,7 @@ class Mailbox {
   std::vector<std::int64_t> slot_counts_;  // row-major, this round's staged
   std::vector<std::int64_t> slot_bits_;    // same shape, MessageSize bits
   std::vector<std::uint8_t> filled_;       // fill-once-per-round guards
+  bool owner_exchanged_ = false;           // exchange-once-per-round guard
 };
 
 /// Shard-major sweep: body(v) for every vertex, with each shard's owned set

@@ -39,6 +39,22 @@
 ///      rank's global state bit-identical while the send sweep is genuinely
 ///      partitioned across processes.
 ///
+/// **Owner-compute** (ShardRuntime::exchange_policy() == kOwnerRouted over a
+/// distributed transport): steps 2–3 change shape. The engine holds state
+/// for the LOCAL shard only (states_ sized to GraphView::num_owned(),
+/// indexed by owned position), encodes only the off-diagonal slots of its
+/// row (Mailbox::encode_owned_row — the diagonal never touches the codec),
+/// ships them point-to-point (Transport::exchange_owned), and merges +
+/// receives only its own column. Per-rank work drops from O(n) to
+/// O(n/S + halo) and the wire carries only cross-shard payload; results
+/// stay bit-identical because each shard's merged inbox never depended on
+/// any other shard's local state (DESIGN.md §6, "Owner-compute"). Drivers
+/// that sweep or read global state must consult owner_local_state() and use
+/// the transport's allreduce/gather collectives (mis/luby_sync.cpp is the
+/// model). In-process runs under the same policy keep full state but
+/// round-trip cross-shard slots through the codec, so the hermetic suites
+/// differential both policies without sockets.
+///
 /// Every staging path presents one sender's messages to one destination in
 /// emission order, and the per-inbox merge sorts *stably* by sender, so the
 /// inbox contents handed to receive() are byte-for-byte what SyncEngine
@@ -108,19 +124,36 @@ class ParallelSyncEngine {
         phase_(std::move(phase)),
         pool_(pool),
         shards_(shards),
-        mode_(mode),
-        states_(static_cast<std::size_t>(g.num_vertices())) {
+        mode_(mode) {
     if (shards_ != nullptr) {
       DC_REQUIRE(shards_->partition().num_vertices() == g.num_vertices(),
                  "shard runtime was built over a different graph");
       mailbox_.emplace(&shards_->partition());
+      policy_ = shards_->exchange_policy();
+      local_shard_ = shards_->transport().local_shard();
+      owner_dist_ = shards_->owner_routed_distributed();
+      if (owner_dist_) {
+        owned_base_ = shards_->partition().begin(local_shard_);
+      }
     }
+    // Owner-compute distributed ranks hold state for their OWN shard only —
+    // O(n/S) per rank, allocated from the GraphView's owned count — every
+    // other shape keeps the full per-vertex array (the replicated
+    // discipline; halo values arrive as messages, never as state).
+    states_.resize(static_cast<std::size_t>(
+        owner_dist_ ? shards_->view(local_shard_).num_owned()
+                    : g.num_vertices()));
   }
 
   const Graph& graph() const { return graph_; }
 
-  State& state(int v) { return states_[static_cast<std::size_t>(v)]; }
-  const State& state(int v) const { return states_[static_cast<std::size_t>(v)]; }
+  /// True when this engine holds owned-only state (the owner-routed policy
+  /// over a distributed transport): state(v) is then valid ONLY for
+  /// vertices the local shard owns.
+  bool owner_local_state() const { return owner_dist_; }
+
+  State& state(int v) { return states_[state_index(v)]; }
+  const State& state(int v) const { return states_[state_index(v)]; }
 
   /// Executes one synchronous round over the whole graph and charges 1 round.
   void round(const SendFn& send, const RecvFn& receive) {
@@ -203,6 +236,19 @@ class ParallelSyncEngine {
     int from;
     Msg msg;
   };
+
+  // Global vertex id -> index into states_. The identity except under
+  // owner-compute, where states_ is indexed by owned position:
+  // position_of(v) - begin(local) — O(1) for contiguous and renumbered
+  // partitions alike (graph/partition.h).
+  std::size_t state_index(int v) const {
+    if (!owner_dist_) return static_cast<std::size_t>(v);
+    const int i = shards_->partition().position_of(v) - owned_base_;
+    DC_REQUIRE(i >= 0 && i < static_cast<int>(states_.size()),
+               "owner-compute engine: state(v) asked for a vertex this rank "
+               "does not own");
+    return static_cast<std::size_t>(i);
+  }
 
   // Fast-mode chunked round (see file comment). Barrier 1 stages envelopes
   // bucketed by *destination* range; barrier 2 runs one chunk per
@@ -321,7 +367,7 @@ class ParallelSyncEngine {
                    int ihi, std::vector<Envelope>& buf) {
     for (int i = ilo; i < ihi; ++i) {
       const int v = view.owned_vertex(i);
-      for (auto& [to, msg] : send(v, states_[static_cast<std::size_t>(v)])) {
+      for (auto& [to, msg] : send(v, state(v))) {
         DC_REQUIRE(graph_.has_edge(v, to),
                    "LOCAL model: messages only travel along edges");
         buf.push_back(Envelope{to, v, std::move(msg)});
@@ -350,14 +396,9 @@ class ParallelSyncEngine {
     const int num_shards = shards_->num_shards();
     const bool congest = ledger_.congest_bits() > 0;
     Transport& transport = shards_->transport();
-    const int local = transport.local_shard();
+    const int local = local_shard_;
     Mailbox<Msg>& mailbox = *mailbox_;
     mailbox.clear();
-    std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
-    // Per-vertex CONGEST loads: each destination shard writes only its owned
-    // range (shard-private), the fold below runs after the barrier.
-    std::vector<std::int64_t> edge_bits(
-        congest ? static_cast<std::size_t>(n) : 0, 0);
 
     // Barrier 1: each source shard stages its owned vertices (chunked on
     // the pool, nested region) and posts into its mailbox row in ascending
@@ -381,6 +422,20 @@ class ParallelSyncEngine {
         }
       }
     });
+
+    // Owner-compute distributed rounds diverge here: point-to-point
+    // exchange, rank-local merge + receive (see round_owner_distributed).
+    if (owner_dist_) {
+      round_owner_distributed(receive, congest, num_shards, transport,
+                              mailbox);
+      return;
+    }
+
+    std::vector<Inbox> inboxes(static_cast<std::size_t>(n));
+    // Per-vertex CONGEST loads: each destination shard writes only its owned
+    // range (shard-private), the fold below runs after the barrier.
+    std::vector<std::int64_t> edge_bits(
+        congest ? static_cast<std::size_t>(n) : 0, 0);
 
     // Distributed exchange: serialize the local row, all-gather the bytes
     // (this is the inter-rank barrier), fill every remote row from the wire.
@@ -417,10 +472,23 @@ class ParallelSyncEngine {
     // Distributed ranks replay this for every shard (replicated merge +
     // receive — see the strategy comment above), in ascending shard order on
     // the calling thread.
+    // In-process owner-routed runs have no wire to save bytes on, but honor
+    // the policy's codec discipline hermetically: every CROSS-shard slot
+    // round-trips through encode/decode during the drain (the diagonal
+    // stays codec-free, exactly the owner-compute invariant), so the zoo
+    // differential covers both policies without sockets. decode_slot
+    // replays post order, so the merge below is untouched.
+    const bool codec_roundtrip =
+        policy_ == ExchangePolicy::kOwnerRouted && local < 0;
     const auto receive_shard = [&](int d) {
       const GraphView& view = shards_->view(d);
       for (int s = 0; s < num_shards; ++s) {
-        for (auto& e : mailbox.drain(s, d)) {
+        auto envelopes = mailbox.drain(s, d);
+        if (codec_roundtrip && s != d) {
+          envelopes = decode_slot<Msg, typename Mailbox<Msg>::Envelope>(
+              encode_slot<Msg>(envelopes));
+        }
+        for (auto& e : envelopes) {
           inboxes[static_cast<std::size_t>(e.to)].emplace_back(
               e.from, std::move(e.msg));
         }
@@ -468,12 +536,111 @@ class ParallelSyncEngine {
     ledger_.charge_message_round(max_edge_bits, phase_);
   }
 
+  // The owner-compute continuation of round_sharded (after Barrier 1 has
+  // staged the local rank's row). Why rank-local merge cannot move a byte
+  // (DESIGN.md §6, "Owner-compute"): shard d's inbox contents are exactly
+  // the envelopes in column (*, d) — slots other ranks addressed to d plus
+  // d's own diagonal slot — and the shard-major stable merge orders them
+  // using only (source shard, emission position, sender id), never any
+  // other shard's local state. So merging ONLY the local column, with the
+  // diagonal slot never serialized and the off-diagonal slots arriving
+  // point-to-point, reproduces byte-for-byte the inboxes the replicated
+  // replay would have produced for this shard — while per-rank merge work
+  // drops from O(n) to O(n/S + halo traffic) and the wire carries only the
+  // cross-shard payload. The piggybacked tally rows reassemble the full
+  // S×S counters, so record_round and the CONGEST max fold (allreduce_max,
+  // order-free) charge exactly what every other shape charges.
+  void round_owner_distributed(const RecvFn& receive, bool congest,
+                               int num_shards, Transport& transport,
+                               Mailbox<Msg>& mailbox) {
+    const int local = local_shard_;
+    const GraphView& view = shards_->view(local);
+    const int owned = view.num_owned();
+
+    // Our posted row tallies ride along with the slots, so every rank can
+    // rebuild the full matrix without a second collective.
+    std::vector<std::int64_t> row_counts(static_cast<std::size_t>(num_shards));
+    std::vector<std::int64_t> row_bits(static_cast<std::size_t>(num_shards));
+    {
+      const auto& counts = mailbox.slot_counts();
+      const auto& bits = mailbox.slot_bits();
+      for (int d = 0; d < num_shards; ++d) {
+        const std::size_t idx = static_cast<std::size_t>(local) *
+                                    static_cast<std::size_t>(num_shards) +
+                                static_cast<std::size_t>(d);
+        row_counts[static_cast<std::size_t>(d)] = counts[idx];
+        row_bits[static_cast<std::size_t>(d)] = bits[idx];
+      }
+    }
+    auto result = transport.exchange_owned(mailbox.encode_owned_row(local),
+                                           std::move(row_counts),
+                                           std::move(row_bits));
+    DC_ENSURE(static_cast<int>(result.slots.size()) == num_shards &&
+                  static_cast<int>(result.slot_counts.size()) ==
+                      num_shards * num_shards &&
+                  static_cast<int>(result.slot_bits.size()) ==
+                      num_shards * num_shards,
+              "exchange_owned returned a malformed result");
+    for (int s = 0; s < num_shards; ++s) {
+      if (s == local) continue;
+      mailbox.fill(s, local,
+                   decode_slot<Msg, typename Mailbox<Msg>::Envelope>(
+                       result.slots[static_cast<std::size_t>(s)]));
+    }
+    transport.exchange();
+
+    // Rank-local merge + receive: only column (*, local), only owned
+    // inboxes — indexed by owned position, the same index states_ uses.
+    std::vector<Inbox> inboxes(static_cast<std::size_t>(owned));
+    std::vector<std::int64_t> edge_bits(
+        congest ? static_cast<std::size_t>(owned) : 0, 0);
+    for (int s = 0; s < num_shards; ++s) {
+      for (auto& e : mailbox.drain(s, local)) {
+        inboxes[state_index(e.to)].emplace_back(e.from, std::move(e.msg));
+      }
+    }
+    if (mode_ == ExecutionMode::kFast) {
+      // Fast mode: no sender sort; CONGEST fold fused into the receive.
+      pooled_for(pool_, 0, owned, [&](int i) {
+        if (congest) {
+          edge_bits[static_cast<std::size_t>(i)] =
+              max_edge_bits_in_inbox(inboxes[static_cast<std::size_t>(i)]);
+        }
+        receive(view.owned_vertex(i), states_[static_cast<std::size_t>(i)],
+                inboxes[static_cast<std::size_t>(i)]);
+      });
+    } else {
+      pooled_for(pool_, 0, owned, [&](int i) {
+        sort_inbox(inboxes[static_cast<std::size_t>(i)]);
+        if (congest) {
+          edge_bits[static_cast<std::size_t>(i)] =
+              max_edge_bits_in_inbox(inboxes[static_cast<std::size_t>(i)]);
+        }
+      });
+      pooled_for(pool_, 0, owned, [&](int i) {
+        receive(view.owned_vertex(i), states_[static_cast<std::size_t>(i)],
+                inboxes[static_cast<std::size_t>(i)]);
+      });
+    }
+
+    shards_->record_round(result.slot_counts, result.slot_bits);
+    std::int64_t local_max = 0;
+    for (std::int64_t b : edge_bits) local_max = std::max(local_max, b);
+    const std::int64_t max_edge_bits =
+        congest ? transport.allreduce_max(local_max) : 0;
+    ledger_.charge_message_round(max_edge_bits, phase_);
+  }
+
   const Graph& graph_;
   RoundLedger& ledger_;
   std::string phase_;
   ThreadPool* pool_;
   ShardRuntime* shards_;
   ExecutionMode mode_ = ExecutionMode::kDeterministic;
+  ExchangePolicy policy_ = ExchangePolicy::kReplicated;
+  int local_shard_ = -1;   // transport.local_shard(), cached at construction
+  bool owner_dist_ = false;  // owner-routed AND distributed: owned-only state
+  int owned_base_ = 0;     // partition().begin(local) under owner-compute
   std::optional<Mailbox<Msg>> mailbox_;
   std::vector<State> states_;
 };

@@ -289,5 +289,86 @@ TEST(Mailbox, DrainEmptiesTheSlotButAccountingSurvives) {
   EXPECT_EQ(mb.slot_counts()[0 * 2 + 1], 0);
 }
 
+// --- the owner-routed encode surface (ExchangePolicy::kOwnerRouted) --------
+
+TEST(Mailbox, EncodeOwnedRowLeavesLocalSlotUntouched) {
+  const VertexPartition part = VertexPartition::contiguous(10, 2);
+  Mailbox<int> mb(&part);
+  mb.post(0, /*from=*/1, /*to=*/2, 40);  // slot (0, 0): stays local
+  mb.post(0, /*from=*/1, /*to=*/7, 41);  // slot (0, 1): crosses
+  mb.post(0, /*from=*/3, /*to=*/8, 42);  // slot (0, 1), after the first
+  auto row = mb.encode_owned_row(0);
+  ASSERT_EQ(row.size(), 2u);
+  // The local slot is never encoded — rank-local envelopes skip the codec
+  // entirely — and its envelopes are still sitting in the mailbox.
+  EXPECT_TRUE(row[0].empty());
+  ASSERT_EQ(mb.slot(0, 0).size(), 1u);
+  EXPECT_EQ(mb.slot(0, 0)[0].msg, 40);
+  // The cross slot round-trips bit-exactly, post order preserved.
+  const auto decoded = decode_slot<int, Mailbox<int>::Envelope>(row[1]);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].from, 1);
+  EXPECT_EQ(decoded[0].to, 7);
+  EXPECT_EQ(decoded[0].msg, 41);
+  EXPECT_EQ(decoded[1].from, 3);
+  EXPECT_EQ(decoded[1].msg, 42);
+}
+
+TEST(Mailbox, DoubleOwnedExchangeThrows) {
+  const VertexPartition part = VertexPartition::contiguous(10, 2);
+  Mailbox<int> mb(&part);
+  mb.post(0, /*from=*/1, /*to=*/7, 1);
+  EXPECT_NO_THROW(mb.encode_owned_row(0));
+  // A second owner-routed exchange in the same round means two collectives
+  // raced one mailbox — fail loudly.
+  EXPECT_THROW(mb.encode_owned_row(0), ContractViolation);
+  // clear() re-arms the guard for the next round.
+  mb.clear();
+  EXPECT_NO_THROW(mb.encode_owned_row(0));
+}
+
+// The owner policy on the in-process backend: full state is kept (no ranks
+// to distribute across), but every cross-shard slot round-trips through the
+// wire codec during drain — the hermetic coverage of the owner-routed wire
+// discipline. Results must be bit-identical to the serial golden for every
+// (shards, threads, B) shape.
+TEST(ShardedEngine, LubyOwnerPolicyBitIdenticalInProcess) {
+  Rng grng(123);
+  const Graph g = random_regular(400, 6, grng);
+  const auto [serial_mis, serial_rounds] = serial_luby(g);
+  for (std::int64_t bits : {std::int64_t{0}, std::int64_t{64}}) {
+    // Per-B golden: the serial run under the same CONGEST cap.
+    std::int64_t golden_rounds;
+    {
+      Rng rng(99);
+      RoundLedger ledger;
+      if (bits > 0) ledger.set_congest_bits(bits);
+      const auto mis = luby_mis_message_passing(g, rng, ledger, "mis");
+      EXPECT_EQ(mis, serial_mis);
+      golden_rounds = ledger.total();
+    }
+    if (bits == 0) {
+      EXPECT_EQ(golden_rounds, serial_rounds);
+    }
+    for (int num_shards : {1, 2, 8}) {
+      for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+        ShardRuntime shards(g, num_shards, pool_ptr);
+        shards.set_exchange_policy(ExchangePolicy::kOwnerRouted);
+        Rng rng(99);
+        RoundLedger ledger;
+        if (bits > 0) ledger.set_congest_bits(bits);
+        const auto mis =
+            luby_mis_message_passing(g, rng, ledger, "mis", pool_ptr, &shards);
+        EXPECT_EQ(mis, serial_mis) << num_shards << " shards, " << threads
+                                   << " threads, B=" << bits;
+        EXPECT_EQ(ledger.total(), golden_rounds)
+            << num_shards << " shards, " << threads << " threads, B=" << bits;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace deltacol

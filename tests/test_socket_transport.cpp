@@ -318,6 +318,128 @@ TEST(RankLoader, HaloAdjacencyArrivesIntactOverTheWire) {
   }
 }
 
+// --- the owner-routed primitive --------------------------------------------
+
+// Restores (unsets) an environment variable on scope exit, so a test that
+// fails mid-way cannot leak its timeout into later tests.
+struct EnvGuard {
+  std::string name;
+  EnvGuard(const std::string& n, const std::string& value) : name(n) {
+    ::setenv(name.c_str(), value.c_str(), 1);
+  }
+  ~EnvGuard() { ::unsetenv(name.c_str()); }
+};
+
+TEST(SocketTransport, ExchangeOwnedMovesOnlyOffDiagonalSlots) {
+  auto [t0, t1] = loopback_pair();
+  std::vector<Transport::OwnedExchange> got(2);
+  run_ranks(2, [&](int r) {
+    // Rank r addresses one slot to the other rank; the local slot is empty
+    // (the contract: it never crosses the wire).
+    std::vector<WireBuf> to_peers(2);
+    to_peers[1 - r] = {std::uint8_t(100 + r), std::uint8_t(200 + r)};
+    std::vector<std::int64_t> counts = {10 * r + 1, 10 * r + 2};
+    std::vector<std::int64_t> bits = {100 * r + 1, 100 * r + 2};
+    got[static_cast<std::size_t>(r)] =
+        (r == 0 ? *t0 : *t1)
+            .exchange_owned(std::move(to_peers), std::move(counts),
+                            std::move(bits));
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto& ex = got[static_cast<std::size_t>(r)];
+    ASSERT_EQ(ex.slots.size(), 2u);
+    // The local slot stays empty; the peer's slot carries its payload.
+    EXPECT_TRUE(ex.slots[static_cast<std::size_t>(r)].empty());
+    const int peer = 1 - r;
+    EXPECT_EQ(ex.slots[static_cast<std::size_t>(peer)],
+              (WireBuf{std::uint8_t(100 + peer), std::uint8_t(200 + peer)}));
+    // The piggybacked tally rows reassemble the full S x S matrices
+    // identically on both ranks.
+    EXPECT_EQ(ex.slot_counts, (std::vector<std::int64_t>{1, 2, 11, 12}));
+    EXPECT_EQ(ex.slot_bits, (std::vector<std::int64_t>{1, 2, 101, 102}));
+  }
+  // cross_payload_bytes is MEASURED here: exactly the 2 slot bytes each rank
+  // framed to its one peer.
+  EXPECT_EQ(t0->cross_payload_bytes(), 2);
+  EXPECT_EQ(t1->cross_payload_bytes(), 2);
+
+  // A non-empty local slot is a contract violation, caught before any I/O.
+  std::vector<WireBuf> bad(2);
+  bad[0] = {1};
+  EXPECT_THROW(t0->exchange_owned(std::move(bad), {0, 0}, {0, 0}),
+               ContractViolation);
+}
+
+// --- multi-machine hardening (DELTACOL_NET_TIMEOUT_MS) ---------------------
+
+TEST(SocketTransport, RendezvousTimesOutWhenAPeerNeverDials) {
+  EnvGuard guard("DELTACOL_NET_TIMEOUT_MS", "300");
+  // Rank 0 of a 2-rank cluster: it listens and waits for rank 1's dial,
+  // which never comes. Without the timeout this would hang forever.
+  bool ran = false;
+  for (int attempt = 0; attempt < 5 && !ran; ++attempt) {
+    const int port_base =
+        23000 + static_cast<int>((::getpid() * 7 + attempt * 131) % 30000);
+    NetConfig cfg;
+    cfg.rank = 0;
+    cfg.world = 2;
+    cfg.endpoints = NetConfig::localhost_endpoints(2, port_base);
+    try {
+      SocketTransport t(cfg);
+      FAIL() << "rendezvous succeeded with no peer?";
+    } catch (const WireError& e) {
+      const std::string what = e.what();
+      if (what.find("bind") != std::string::npos) continue;  // port taken
+      ran = true;
+      EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+      EXPECT_NE(what.find("to dial"), std::string::npos) << what;
+    }
+  }
+  if (!ran) GTEST_SKIP() << "no free port found for the listener";
+}
+
+TEST(SocketTransport, ConnectBudgetBoundedByEnvTimeout) {
+  EnvGuard guard("DELTACOL_NET_TIMEOUT_MS", "300");
+  // Rank 1 dials rank 0's endpoint, where nothing listens: the env budget
+  // replaces the 20 s default, so this fails in ~300 ms.
+  bool ran = false;
+  for (int attempt = 0; attempt < 5 && !ran; ++attempt) {
+    const int port_base =
+        23000 + static_cast<int>((::getpid() * 13 + attempt * 173) % 30000);
+    NetConfig cfg;
+    cfg.rank = 1;
+    cfg.world = 2;
+    cfg.endpoints = NetConfig::localhost_endpoints(2, port_base);
+    try {
+      SocketTransport t(cfg);
+      FAIL() << "connect succeeded with no listener?";
+    } catch (const WireError& e) {
+      const std::string what = e.what();
+      if (what.find("bind") != std::string::npos) continue;  // port taken
+      ran = true;
+      EXPECT_NE(what.find("could not connect"), std::string::npos) << what;
+    }
+  }
+  if (!ran) GTEST_SKIP() << "no free port found for the listener";
+}
+
+TEST(SocketTransport, SilentPeerMidExchangeNamesTheRank) {
+  // The timeout is read at construction: set it before building the pair.
+  EnvGuard guard("DELTACOL_NET_TIMEOUT_MS", "300");
+  auto [t0, t1] = loopback_pair();
+  // Rank 0's tiny frame fits in the kernel buffer, so its send completes;
+  // rank 1 never writes, so the read times out and names the silent peer.
+  std::vector<WireBuf> row(2);
+  try {
+    t0->all_gather_rows(std::move(row));
+    FAIL() << "exchange completed against a silent peer?";
+  } catch (const WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+  }
+}
+
 // --- the headline differential ---------------------------------------------
 
 struct LubyRun {
@@ -384,6 +506,88 @@ TEST(SocketTransport, LubyBitIdenticalToInProcessAcrossTheZoo) {
         for (int b = 0; b < 2; ++b) {
           EXPECT_EQ(rts[0]->slot_messages(a, b), golden_rt.slot_messages(a, b));
           EXPECT_EQ(rts[1]->slot_bits(a, b), golden_rt.slot_bits(a, b));
+        }
+      }
+    }
+  }
+}
+
+// Owner-routed differential: two real ranks under ExchangePolicy::kOwnerRouted
+// — rank-local merge over owned-only state, point-to-point cross slots, the
+// end-of-run gather — versus the in-process replicated golden at S=2. Every
+// observable (MIS, ledger, bit/message counters, the full per-slot matrices)
+// must be bit-identical, and the owner runs' MEASURED cross payload must
+// equal the replicated runs' PREDICTED one (the same counter, realized).
+TEST(SocketTransport, LubyOwnerRoutedBitIdenticalAcrossTheZoo) {
+  for (const auto& w : generator_zoo()) {
+    for (std::int64_t bits : {std::int64_t{0}, std::int64_t{64}}) {
+      // Golden: the in-process sharded run at S=2 (replicated discipline).
+      ShardRuntime golden_rt(w.graph, 2, nullptr);
+      const LubyRun golden = run_luby(w.graph, golden_rt, bits);
+
+      // Replicated socket run: captures the cross-payload *prediction*.
+      std::vector<std::int64_t> predicted(2), replicated_wire(2);
+      {
+        auto [t0, t1] = loopback_pair();
+        SocketTransport* traw[2] = {t0.get(), t1.get()};
+        std::vector<std::unique_ptr<ShardRuntime>> rts(2);
+        rts[0] = std::make_unique<ShardRuntime>(w.graph, 2, nullptr,
+                                                std::move(t0));
+        rts[1] = std::make_unique<ShardRuntime>(w.graph, 2, nullptr,
+                                                std::move(t1));
+        run_ranks(2, [&](int r) {
+          run_luby(w.graph, *rts[static_cast<std::size_t>(r)], bits);
+        });
+        for (int r = 0; r < 2; ++r) {
+          predicted[r] = traw[r]->cross_payload_bytes();
+          replicated_wire[r] = traw[r]->wire_bytes_sent();
+        }
+      }
+
+      // Owner-routed socket run.
+      auto [t0, t1] = loopback_pair();
+      SocketTransport* traw[2] = {t0.get(), t1.get()};
+      std::vector<LubyRun> per_rank(2);
+      std::vector<std::unique_ptr<ShardRuntime>> rts(2);
+      rts[0] = std::make_unique<ShardRuntime>(w.graph, 2, nullptr,
+                                              std::move(t0));
+      rts[1] = std::make_unique<ShardRuntime>(w.graph, 2, nullptr,
+                                              std::move(t1));
+      for (auto& rt : rts) rt->set_exchange_policy(ExchangePolicy::kOwnerRouted);
+      run_ranks(2, [&](int r) {
+        per_rank[static_cast<std::size_t>(r)] =
+            run_luby(w.graph, *rts[static_cast<std::size_t>(r)], bits);
+      });
+
+      for (int r = 0; r < 2; ++r) {
+        const LubyRun& got = per_rank[static_cast<std::size_t>(r)];
+        EXPECT_EQ(got.mis, golden.mis) << w.name << " B=" << bits << " rank " << r;
+        EXPECT_EQ(got.ledger_total, golden.ledger_total)
+            << w.name << " B=" << bits << " rank " << r;
+        EXPECT_EQ(got.total_bits, golden.total_bits)
+            << w.name << " B=" << bits << " rank " << r;
+        EXPECT_EQ(got.cross_bits, golden.cross_bits)
+            << w.name << " B=" << bits << " rank " << r;
+        EXPECT_EQ(got.total_messages, golden.total_messages)
+            << w.name << " B=" << bits << " rank " << r;
+        EXPECT_EQ(got.rounds_recorded, golden.rounds_recorded)
+            << w.name << " B=" << bits << " rank " << r;
+        // Prediction (replicated) == realization (owner), per rank. Owner
+        // routing must also never put MORE on the wire than the all-gather
+        // (the zoo graphs all have non-trivial local slots, so the owned
+        // frame's tally header never outweighs the dropped local slot).
+        EXPECT_EQ(traw[r]->cross_payload_bytes(), predicted[r])
+            << w.name << " B=" << bits << " rank " << r;
+        EXPECT_LE(traw[r]->wire_bytes_sent(), replicated_wire[r])
+            << w.name << " B=" << bits << " rank " << r;
+      }
+      // The reassembled per-slot matrices match the golden's exactly.
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          EXPECT_EQ(rts[0]->slot_messages(a, b), golden_rt.slot_messages(a, b))
+              << w.name << " B=" << bits;
+          EXPECT_EQ(rts[1]->slot_bits(a, b), golden_rt.slot_bits(a, b))
+              << w.name << " B=" << bits;
         }
       }
     }
